@@ -1,0 +1,404 @@
+//! Executes point-to-point schedules on the discrete-event fabric.
+//!
+//! Large messages are segmented into simulation chunks so that store-and-
+//! forward pipelining across switch hops emerges as in a real packetized
+//! fabric. All baseline traffic rides the reliable connected transport
+//! (RC), matching the production P2P stacks (UCX zero-copy rendezvous)
+//! the paper benchmarks against.
+//!
+//! [`run_p2p_concurrent`] runs several independent schedules per rank at
+//! once — that is how the concurrent `{Allgather, Reduce-Scatter}`
+//! contention scenario of Section II / Appendix B is reproduced: both
+//! collectives' flows share the NIC injection pipeline and fabric links.
+
+use crate::schedule::Schedule;
+use mcag_simnet::fabric::RunStats;
+use mcag_simnet::{Ctx, Fabric, FabricConfig, Payload, RankApp, SimTime, Topology, TrafficReport};
+use mcag_verbs::{Cqe, CqeOpcode, ImmData, QpNum, Rank, Transport};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Default segmentation for unicast messages (64 KiB keeps event counts
+/// tractable while preserving pipelining; pass a custom value for
+/// fine-grained studies).
+pub const DEFAULT_SEG_BYTES: usize = 64 << 10;
+
+const TX_ALL_DONE: u64 = 10;
+
+/// `results[flow][rank] = (start, end)` completion records.
+pub type FlowTimes = Rc<RefCell<Vec<Vec<Option<(SimTime, SimTime)>>>>>;
+
+/// One flow = one schedule in execution.
+struct FlowState {
+    sched: Schedule,
+    cursor: usize,
+    /// Cumulative bytes received from each src rank (over the whole
+    /// schedule) — FIFO channels make cumulative accounting exact.
+    recvd_from: Vec<u64>,
+    /// Cumulative receive thresholds per step per src, precomputed.
+    thresholds: Vec<Vec<(u32, u64)>>,
+    done_at: Option<SimTime>,
+}
+
+impl FlowState {
+    fn new(sched: Schedule, p: usize) -> FlowState {
+        let mut cum: Vec<u64> = vec![0; p];
+        let thresholds = sched
+            .steps
+            .iter()
+            .map(|step| {
+                for r in &step.recvs {
+                    cum[r.src.idx()] += r.bytes as u64;
+                }
+                step.recvs
+                    .iter()
+                    .map(|r| (r.src.0, cum[r.src.idx()]))
+                    .collect()
+            })
+            .collect();
+        FlowState {
+            sched,
+            cursor: 0,
+            recvd_from: vec![0; p],
+            thresholds,
+            done_at: None,
+        }
+    }
+
+    fn step_satisfied(&self) -> bool {
+        self.thresholds[self.cursor]
+            .iter()
+            .all(|&(src, need)| self.recvd_from[src as usize] >= need)
+    }
+
+    fn is_done(&self) -> bool {
+        self.cursor >= self.sched.steps.len()
+    }
+}
+
+/// Per-rank executor over one or more concurrent flows.
+pub struct ScheduleApp {
+    flows: Vec<FlowState>,
+    seg: usize,
+    qp: QpNum,
+    start: SimTime,
+    next_psn: u32,
+    results: FlowTimes,
+    all_posted: bool,
+}
+
+impl ScheduleApp {
+    /// Build an executor for `rank` running `flows` concurrently.
+    /// `results[flow][rank]` receives `(start, end)` on completion.
+    pub fn new(
+        flows: Vec<Schedule>,
+        p: usize,
+        seg: usize,
+        qp: QpNum,
+        results: FlowTimes,
+    ) -> ScheduleApp {
+        assert!(seg > 0);
+        ScheduleApp {
+            flows: flows.into_iter().map(|s| FlowState::new(s, p)).collect(),
+            seg,
+            qp,
+            start: SimTime::ZERO,
+            next_psn: 0,
+            results,
+            all_posted: false,
+        }
+    }
+
+    fn post_step_sends(&mut self, ctx: &mut Ctx<'_, ()>, flow_idx: usize) {
+        let me = ctx.rank();
+        let cursor = self.flows[flow_idx].cursor;
+        let sends: Vec<(Rank, usize)> = self.flows[flow_idx].sched.steps[cursor]
+            .sends
+            .iter()
+            .map(|s| (s.dst, s.bytes))
+            .collect();
+        for (dst, bytes) in sends {
+            let mut left = bytes;
+            while left > 0 {
+                let this = left.min(self.seg);
+                ctx.post_unicast_chunk(
+                    dst,
+                    self.qp,
+                    Some(ImmData(flow_idx as u32)),
+                    me,
+                    self.next_psn,
+                    this,
+                    true, // RC: reliable
+                );
+                self.next_psn += 1;
+                left -= this;
+            }
+        }
+    }
+
+    /// Advance all flows as far as receive thresholds allow.
+    fn progress(&mut self, ctx: &mut Ctx<'_, ()>) {
+        let me = ctx.rank();
+        loop {
+            let mut advanced = false;
+            for f in 0..self.flows.len() {
+                while !self.flows[f].is_done() && self.flows[f].step_satisfied() {
+                    // Step complete: move to the next one and post its sends.
+                    self.flows[f].cursor += 1;
+                    if self.flows[f].is_done() {
+                        self.flows[f].done_at = Some(ctx.now());
+                        self.results.borrow_mut()[f][me.idx()] =
+                            Some((self.start, ctx.now()));
+                    } else {
+                        self.post_step_sends(ctx, f);
+                    }
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        if !self.all_posted && self.flows.iter().all(|f| f.is_done()) {
+            self.all_posted = true;
+            ctx.notify_tx_drained(self.qp, TX_ALL_DONE);
+        }
+    }
+}
+
+impl RankApp<()> for ScheduleApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+        self.start = ctx.now();
+        for f in 0..self.flows.len() {
+            if self.flows[f].is_done() {
+                // Empty schedule (e.g. broadcast root with no parent and
+                // no children at P=... ) — completes immediately.
+                self.flows[f].done_at = Some(ctx.now());
+                self.results.borrow_mut()[f][ctx.rank().idx()] = Some((self.start, ctx.now()));
+                continue;
+            }
+            self.post_step_sends(ctx, f);
+        }
+        self.progress(ctx);
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_, ()>, cqe: Cqe, _payload: Payload<()>) {
+        assert_eq!(cqe.opcode, CqeOpcode::Recv);
+        let flow = cqe.imm.expect("baseline chunk without flow tag").0 as usize;
+        let src = cqe.src.expect("chunk without source");
+        self.flows[flow].recvd_from[src.idx()] += cqe.byte_len as u64;
+        self.progress(ctx);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, ()>, _token: u64) {
+        unreachable!("baselines arm no timers");
+    }
+
+    fn on_tx_drained(&mut self, ctx: &mut Ctx<'_, ()>, token: u64) {
+        assert_eq!(token, TX_ALL_DONE);
+        ctx.mark_done();
+    }
+}
+
+/// Outcome of a P2P run.
+#[derive(Debug, Clone)]
+pub struct P2POutcome {
+    /// `(start, end)` per flow per rank.
+    pub flow_times: Vec<Vec<Option<(SimTime, SimTime)>>>,
+    /// Fabric statistics.
+    pub stats: RunStats,
+    /// Link counters.
+    pub traffic: TrafficReport,
+}
+
+impl P2POutcome {
+    /// Wall-clock of flow `f` (max end across ranks), ns.
+    pub fn flow_completion_ns(&self, f: usize) -> u64 {
+        self.flow_times[f]
+            .iter()
+            .flatten()
+            .map(|(s, e)| e.since(*s))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-rank durations of flow `f` for ranks that moved data.
+    pub fn flow_rank_ns(&self, f: usize) -> Vec<u64> {
+        self.flow_times[f]
+            .iter()
+            .flatten()
+            .map(|(s, e)| e.since(*s))
+            .collect()
+    }
+
+    /// Per-rank receive throughput (Gbit/s) of flow `f`, given the bytes
+    /// each rank receives; ranks with zero expected bytes are skipped.
+    pub fn recv_gbps(&self, f: usize, recv_bytes: impl Fn(Rank) -> u64) -> Vec<f64> {
+        self.flow_times[f]
+            .iter()
+            .enumerate()
+            .filter_map(|(r, t)| {
+                let (s, e) = (*t)?;
+                let bytes = recv_bytes(Rank(r as u32));
+                let ns = e.since(s);
+                (bytes > 0 && ns > 0).then(|| bytes as f64 * 8.0 / ns as f64)
+            })
+            .collect()
+    }
+}
+
+/// Run one schedule set (`schedules[rank]`) on `topo`.
+pub fn run_p2p(
+    topo: Topology,
+    cfg: FabricConfig,
+    schedules: Vec<Schedule>,
+    seg: usize,
+) -> P2POutcome {
+    run_p2p_concurrent(topo, cfg, vec![schedules], seg)
+}
+
+/// Run several schedule sets concurrently (flow `f` of rank `r` is
+/// `flows[f][r]`); all flows share NICs and links.
+pub fn run_p2p_concurrent(
+    topo: Topology,
+    cfg: FabricConfig,
+    flows: Vec<Vec<Schedule>>,
+    seg: usize,
+) -> P2POutcome {
+    let p = topo.num_hosts();
+    for fl in &flows {
+        assert_eq!(fl.len(), p, "one schedule per rank");
+    }
+    let mut fab: Fabric<()> = Fabric::new(topo, cfg);
+    let results = Rc::new(RefCell::new(vec![vec![None; p]; flows.len()]));
+    for r in 0..p {
+        let rank = Rank(r as u32);
+        let qp = fab.add_qp(rank, Transport::Rc, 0);
+        let rank_flows: Vec<Schedule> = flows.iter().map(|fl| fl[r].clone()).collect();
+        fab.set_app(
+            rank,
+            Box::new(ScheduleApp::new(rank_flows, p, seg, qp, Rc::clone(&results))),
+        );
+    }
+    let stats = fab.run();
+    let traffic = fab.traffic();
+    let flow_times = results.borrow().clone();
+    P2POutcome {
+        flow_times,
+        stats,
+        traffic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::*;
+    use mcag_verbs::LinkRate;
+
+    fn star(n: usize) -> Topology {
+        Topology::single_switch(n, LinkRate::CX3_56G, 100)
+    }
+
+    #[test]
+    fn ring_allgather_runs() {
+        let p = 8;
+        let out = run_p2p(
+            star(p),
+            FabricConfig::ideal(),
+            ring_allgather(p as u32, 64 << 10),
+            DEFAULT_SEG_BYTES,
+        );
+        assert!(out.stats.all_done(), "{:?}", out.stats);
+        // Ring time >= (P-1) * N / B.
+        let min_ns = LinkRate::CX3_56G.serialization_ns(64 << 10) * (p as u64 - 1);
+        assert!(out.flow_completion_ns(0) >= min_ns);
+    }
+
+    #[test]
+    fn tree_broadcasts_run_and_order_sanely() {
+        let p = 32u32;
+        let n = 1 << 20;
+        let mut times = Vec::new();
+        for sched in [
+            binomial_broadcast(p, Rank(0), n),
+            knomial_broadcast(p, Rank(0), n, 4),
+            binary_tree_broadcast(p, Rank(0), n),
+        ] {
+            let out = run_p2p(star(p as usize), FabricConfig::ideal(), sched, 64 << 10);
+            assert!(out.stats.all_done());
+            times.push(out.flow_completion_ns(0));
+        }
+        // Binary tree must be the slowest of the three for large buffers
+        // (every interior node forwards the buffer twice serially).
+        assert!(times[2] >= times[0], "binary {} < binomial {}", times[2], times[0]);
+    }
+
+    #[test]
+    fn linear_vs_ring_traffic_equal_but_linear_has_one_step() {
+        let p = 6u32;
+        let n = 32 << 10;
+        let ring = run_p2p(
+            star(p as usize),
+            FabricConfig::ideal(),
+            ring_allgather(p, n),
+            16 << 10,
+        );
+        let lin = run_p2p(
+            star(p as usize),
+            FabricConfig::ideal(),
+            linear_allgather(p, n),
+            16 << 10,
+        );
+        // Same total data movement (P2P Allgather moves N(P-1) per rank
+        // regardless of schedule).
+        assert_eq!(
+            ring.traffic.total_data_bytes(),
+            lin.traffic.total_data_bytes()
+        );
+        assert!(ring.stats.all_done() && lin.stats.all_done());
+    }
+
+    #[test]
+    fn concurrent_flows_share_bandwidth() {
+        // AG and RS rings running together must take longer than either
+        // alone (they compete for the same NIC send path).
+        let p = 6u32;
+        let n = 256 << 10;
+        let ag_alone = run_p2p(
+            star(p as usize),
+            FabricConfig::ideal(),
+            ring_allgather(p, n),
+            64 << 10,
+        );
+        let both = run_p2p_concurrent(
+            star(p as usize),
+            FabricConfig::ideal(),
+            vec![ring_allgather(p, n), ring_reduce_scatter(p, n)],
+            64 << 10,
+        );
+        assert!(both.stats.all_done());
+        let t_alone = ag_alone.flow_completion_ns(0);
+        let t_both = both.flow_completion_ns(0).max(both.flow_completion_ns(1));
+        assert!(
+            t_both as f64 > t_alone as f64 * 1.5,
+            "contention missing: alone {t_alone}, both {t_both}"
+        );
+    }
+
+    #[test]
+    fn recursive_doubling_faster_than_ring_for_small() {
+        let p = 16u32;
+        let n = 4 << 10;
+        let cfg = FabricConfig::ucc_default();
+        let ring = run_p2p(star(p as usize), cfg.clone(), ring_allgather(p, n), 4096);
+        let rd = run_p2p(
+            star(p as usize),
+            cfg,
+            recursive_doubling_allgather(p, n),
+            4096,
+        );
+        // log(P) rounds beat P-1 rounds at small sizes.
+        assert!(rd.flow_completion_ns(0) < ring.flow_completion_ns(0));
+    }
+}

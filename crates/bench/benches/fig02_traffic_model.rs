@@ -1,0 +1,27 @@
+//! Fig. 2 bench: exact link-byte accounting of Allgather schedules on
+//! the 1024-node radix-32 fat-tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_models::traffic::{allgather_traffic, AllgatherAlgo};
+use mcag_simnet::Topology;
+use mcag_verbs::LinkRate;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let topo = Topology::fig2_cluster(LinkRate::NDR_400G);
+    let mut g = c.benchmark_group("fig02_traffic_model");
+    g.sample_size(10);
+    for (name, algo) in [
+        ("mcast", AllgatherAlgo::Mcast),
+        ("ring", AllgatherAlgo::Ring),
+        ("recursive_doubling", AllgatherAlgo::RecursiveDoubling),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(allgather_traffic(&topo, algo, 1 << 20)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Fig. 5 bench: single CPU core vs one multithreaded DPA core on the
+//! 200 Gbit/s UD receive datapath.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_dpa::{run_datapath, ArrivalModel, DpaSpec, Kernel, KernelKind};
+use std::hint::black_box;
+
+const LINK: ArrivalModel = ArrivalModel::LinkRate { gbps: 200.0, header_bytes: 64 };
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_cpu_vs_dpa");
+    g.sample_size(10);
+    let chunks = (1u64 << 20) / 4096;
+    g.bench_function("cpu_ucx_ud_1thr", |b| {
+        let spec = DpaSpec::host_cpu();
+        let k = Kernel::new(KernelKind::CpuUdUcx);
+        b.iter(|| black_box(run_datapath(&spec, &k, 1, 4096, chunks, LINK)))
+    });
+    g.bench_function("cpu_rc_custom_1thr", |b| {
+        let spec = DpaSpec::host_cpu();
+        let k = Kernel::new(KernelKind::CpuRcCustom);
+        b.iter(|| black_box(run_datapath(&spec, &k, 1, 4096, chunks, LINK)))
+    });
+    g.bench_function("dpa_ud_16thr", |b| {
+        let spec = DpaSpec::bf3();
+        let k = Kernel::new(KernelKind::DpaUd);
+        b.iter(|| black_box(run_datapath(&spec, &k, 16, 4096, chunks, LINK)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 10 bench: Allgather with per-phase timing on a 16-rank fabric.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_core::{des, CollectiveKind, ProtocolConfig};
+use mcag_simnet::{FabricConfig, Topology};
+use mcag_verbs::LinkRate;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_breakdown");
+    g.sample_size(10);
+    for n in [16usize << 10, 256 << 10] {
+        g.bench_function(format!("ag_16ranks_{}KiB", n >> 10), |b| {
+            b.iter(|| {
+                black_box(des::run_collective(
+                    Topology::single_switch(16, LinkRate::CX3_56G, 300),
+                    FabricConfig::ucc_default(),
+                    ProtocolConfig::default(),
+                    CollectiveKind::Allgather,
+                    n,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

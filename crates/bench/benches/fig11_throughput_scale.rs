@@ -1,0 +1,38 @@
+//! Fig. 11 bench: full 188-node collectives, multicast vs ring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_baselines::{ring_allgather, run_p2p};
+use mcag_core::{des, CollectiveKind, ProtocolConfig};
+use mcag_simnet::{FabricConfig, Topology};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_throughput_scale");
+    g.sample_size(10);
+    let n = 64usize << 10;
+    g.bench_function("mcast_allgather_188_64KiB", |b| {
+        b.iter(|| {
+            black_box(des::run_collective(
+                Topology::ucc_testbed(),
+                FabricConfig::ucc_default(),
+                ProtocolConfig::default(),
+                CollectiveKind::Allgather,
+                n,
+            ))
+        })
+    });
+    g.bench_function("ring_allgather_188_64KiB", |b| {
+        b.iter(|| {
+            black_box(run_p2p(
+                Topology::ucc_testbed(),
+                FabricConfig::ucc_default(),
+                ring_allgather(188, n),
+                16 << 10,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

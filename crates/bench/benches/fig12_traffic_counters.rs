@@ -1,0 +1,28 @@
+//! Fig. 12 bench: one counter-collection iteration on the 18-switch
+//! testbed (multicast Allgather + switch-port aggregation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_core::{des, CollectiveKind, ProtocolConfig};
+use mcag_simnet::{FabricConfig, Topology};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_traffic_counters");
+    g.sample_size(10);
+    g.bench_function("mcast_ag_64KiB_with_counters", |b| {
+        b.iter(|| {
+            let out = des::run_collective(
+                Topology::ucc_testbed(),
+                FabricConfig::ucc_default(),
+                ProtocolConfig::default(),
+                CollectiveKind::Allgather,
+                64 << 10,
+            );
+            black_box(out.traffic.switch_port_rxtx_bytes(&Topology::ucc_testbed()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 13/14 bench: DPA receive-datapath thread scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_dpa::{run_datapath, ArrivalModel, DpaSpec, Kernel, KernelKind};
+use std::hint::black_box;
+
+const LINK: ArrivalModel = ArrivalModel::LinkRate { gbps: 200.0, header_bytes: 64 };
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_dpa_scaling");
+    g.sample_size(10);
+    let chunks = (8u64 << 20) / 4096;
+    for kind in [KernelKind::DpaUd, KernelKind::DpaUc] {
+        for threads in [1u32, 4, 16] {
+            g.bench_function(format!("{kind:?}_{threads}thr"), |b| {
+                let spec = DpaSpec::bf3();
+                let k = Kernel::new(kind);
+                b.iter(|| black_box(run_datapath(&spec, &k, threads, 4096, chunks, LINK)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 15 bench: UC multi-packet chunk sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_dpa::{run_datapath, ArrivalModel, DpaSpec, Kernel, KernelKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_chunk_size");
+    g.sample_size(10);
+    for chunk_kib in [4usize, 16, 64] {
+        g.bench_function(format!("uc_1thr_{chunk_kib}KiB_chunks"), |b| {
+            let spec = DpaSpec::bf3();
+            let k = Kernel::new(KernelKind::DpaUc);
+            let chunk = chunk_kib << 10;
+            let chunks = ((8usize << 20) / chunk) as u64 * 4;
+            let arrival = ArrivalModel::LinkRate {
+                gbps: 200.0,
+                header_bytes: 64 * (chunk / 4096).max(1),
+            };
+            b.iter(|| black_box(run_datapath(&spec, &k, 1, chunk, chunks, arrival)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 16 bench: 64 B chunk processing toward Tbit/s arrival rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_dpa::{run_datapath, ArrivalModel, DpaSpec, Kernel, KernelKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_tbit_scaling");
+    g.sample_size(10);
+    for (kind, threads) in [
+        (KernelKind::DpaUd, 16u32),
+        (KernelKind::DpaUd, 128),
+        (KernelKind::DpaUc, 128),
+    ] {
+        g.bench_function(format!("{kind:?}_{threads}thr_64B"), |b| {
+            let spec = DpaSpec::bf3();
+            let k = Kernel::new(kind);
+            b.iter(|| {
+                black_box(run_datapath(
+                    &spec,
+                    &k,
+                    threads,
+                    64,
+                    2_000 * threads as u64,
+                    ArrivalModel::Saturated,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of the protocol's fast-path data structures: the
+//! per-CQE work the DPA kernel performs (bitmap update, staging copy,
+//! PSN decode) — the operations whose cost Table I models in cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcag_core::{ChunkBitmap, Sequencer, StagingRing};
+use mcag_verbs::{Chunker, CollectiveId, ImmLayout, Mtu};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_hotpath");
+
+    g.throughput(Throughput::Elements(2048));
+    g.bench_function("bitmap_set_2048", |b| {
+        b.iter(|| {
+            let mut bm = ChunkBitmap::new(2048);
+            for i in 0..2048 {
+                black_box(bm.set(i));
+            }
+            black_box(bm.is_complete())
+        })
+    });
+
+    g.bench_function("bitmap_missing_runs_sparse", |b| {
+        let mut bm = ChunkBitmap::new(1 << 20);
+        for i in (0..1 << 20).step_by(97) {
+            bm.set(i as u32);
+        }
+        b.iter(|| black_box(bm.missing_runs().count()))
+    });
+
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("staging_receive_copy_4KiB", |b| {
+        let mut ring = StagingRing::new(64, Mtu::IB_4K);
+        let data = vec![0xabu8; 4096];
+        let mut user = vec![0u8; 4096 * 16];
+        let mut psn = 0u32;
+        b.iter(|| {
+            let slot = ring.receive(psn % 16, &data).unwrap();
+            black_box(ring.copy_out(slot, &mut user));
+            psn += 1;
+        })
+    });
+
+    g.throughput(Throughput::Elements(2048));
+    g.bench_function("chunker_plan_8MiB", |b| {
+        let ch = Chunker::new(8 << 20, Mtu::IB_4K, ImmLayout::DEFAULT, CollectiveId(1));
+        b.iter(|| {
+            let mut acc = 0usize;
+            for pc in ch.iter() {
+                acc += pc.len;
+            }
+            black_box(acc)
+        })
+    });
+
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("sequencer_schedule_1024", |b| {
+        let s = Sequencer::new(1024, 8);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for r in 0..1024 {
+                acc ^= s.chain_of(r) ^ s.step_of(r);
+                if let Some(x) = s.successor(r) {
+                    acc ^= x;
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    g.throughput(Throughput::Elements(1 << 16));
+    g.bench_function("imm_pack_unpack_64k", |b| {
+        let l = ImmLayout::DEFAULT;
+        b.iter(|| {
+            let mut acc = 0u32;
+            for psn in 0..1u32 << 16 {
+                let imm = l.pack(CollectiveId(3), psn);
+                let (_, p) = l.unpack(imm);
+                acc ^= p;
+            }
+            black_box(acc)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

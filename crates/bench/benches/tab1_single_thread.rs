@@ -1,0 +1,31 @@
+//! Table I bench: single-thread UD/UC datapath metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_dpa::{run_datapath, ArrivalModel, DpaSpec, Kernel, KernelKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab1_single_thread");
+    g.sample_size(10);
+    let chunks = (8u64 << 20) / 4096;
+    for kind in [KernelKind::DpaUd, KernelKind::DpaUc] {
+        g.bench_function(format!("{kind:?}_1thr_8MiB"), |b| {
+            let spec = DpaSpec::bf3();
+            let k = Kernel::new(kind);
+            b.iter(|| {
+                black_box(run_datapath(
+                    &spec,
+                    &k,
+                    1,
+                    4096,
+                    chunks,
+                    ArrivalModel::Saturated,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [ids…] [--csv DIR]
+//! ```
+//!
+//! With no ids, every artifact is produced in paper order. `--csv DIR`
+//! additionally writes one CSV per figure.
+
+use mcag_bench::{generate, ABLATIONS, ALL_FIGS};
+use std::io::Write;
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--csv" => {
+                csv_dir = Some(args.next().expect("--csv needs a directory"));
+            }
+            "--ablations" => {
+                ids.extend(ABLATIONS.iter().map(|s| s.to_string()));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [ids…] [--ablations] [--csv DIR]\nids: {}\nablations: {}",
+                    ALL_FIGS.join(" "),
+                    ABLATIONS.join(" ")
+                );
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_FIGS.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        let fig = generate(id);
+        writeln!(out, "{}", fig.render()).unwrap();
+        writeln!(out, "  [generated in {:.2?}]\n", t0.elapsed()).unwrap();
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{id}.csv");
+            std::fs::write(&path, fig.to_csv()).expect("write csv");
+        }
+    }
+}

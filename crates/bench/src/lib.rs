@@ -1,0 +1,74 @@
+//! # mcag-bench — the evaluation harness
+//!
+//! One generator per table/figure of the paper's evaluation section.
+//! Each returns a [`data::FigData`] (column headers + rows + notes) that
+//! the `figures` binary prints (and optionally dumps as CSV); the
+//! criterion benches under `benches/` wrap the same generators so
+//! `cargo bench` exercises every experiment.
+//!
+//! | id     | paper artifact                                              |
+//! |--------|-------------------------------------------------------------|
+//! | fig2   | theoretical traffic savings on the 1024-node fat-tree        |
+//! | fig3   | node-boundary data movement of {AG, RS} pairs                |
+//! | fig5   | single CPU core vs one multithreaded DPA core                |
+//! | fig7   | PSN bits vs receive buffer / bitmap footprint                |
+//! | fig10  | protocol critical-path breakdown                             |
+//! | fig11  | 188-node throughput: mcast vs P2P Broadcast/Allgather        |
+//! | fig12  | switch-counter traffic reduction (18 switches)               |
+//! | table1 | DPA single-thread datapath metrics                           |
+//! | fig13  | DPA thread scaling, absolute throughput                      |
+//! | fig14  | DPA thread scaling, fraction of 200 Gbit/s                   |
+//! | fig15  | UC multi-packet chunk sizes                                  |
+//! | fig16  | 64 B chunk rate toward 1.6 Tbit/s                            |
+//! | appb   | measured {AG,RS} concurrent speedup vs `2 − 2/P`             |
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod data;
+pub mod dpafigs;
+pub mod modelfigs;
+pub mod netfigs;
+
+pub use data::FigData;
+
+/// All generator ids in paper order.
+pub const ALL_FIGS: &[&str] = &[
+    "fig2", "fig3", "fig5", "fig7", "fig10", "fig11", "fig12", "table1", "fig13", "fig14",
+    "fig15", "fig16", "appb",
+];
+
+/// Ablation studies beyond the paper's figures (design-choice sweeps
+/// called out in DESIGN.md). Run with `figures --ablations` or by id.
+pub const ABLATIONS: &[&str] = &[
+    "ablation_chains",
+    "ablation_subgroups",
+    "ablation_cutoff",
+    "ablation_rq_depth",
+    "ablation_multicomm",
+];
+
+/// Run one generator by id.
+pub fn generate(id: &str) -> FigData {
+    match id {
+        "fig2" => modelfigs::fig2(),
+        "fig3" => modelfigs::fig3(),
+        "fig5" => dpafigs::fig5(),
+        "fig7" => modelfigs::fig7(),
+        "fig10" => netfigs::fig10(),
+        "fig11" => netfigs::fig11(),
+        "fig12" => netfigs::fig12(),
+        "table1" => dpafigs::table1(),
+        "fig13" => dpafigs::fig13(),
+        "fig14" => dpafigs::fig14(),
+        "fig15" => dpafigs::fig15(),
+        "fig16" => dpafigs::fig16(),
+        "appb" => netfigs::appb(),
+        "ablation_chains" => ablations::ablation_chains(),
+        "ablation_subgroups" => ablations::ablation_subgroups(),
+        "ablation_cutoff" => ablations::ablation_cutoff(),
+        "ablation_rq_depth" => ablations::ablation_rq_depth(),
+        "ablation_multicomm" => ablations::ablation_multicomm(),
+        other => panic!("unknown figure id {other:?} (known: {ALL_FIGS:?} + {ABLATIONS:?})"),
+    }
+}

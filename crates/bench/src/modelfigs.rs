@@ -1,0 +1,190 @@
+//! Analytic figures: Fig. 2 (traffic model), Fig. 3 (node boundary),
+//! Fig. 7 (PSN sizing).
+
+use crate::data::{human_bytes, FigData};
+use mcag_models::node_boundary::{node_boundary, pair_boundary, Collective};
+use mcag_models::sizing::{fig7_sweep, BitmapSizing, DPA_LLC_BYTES, GPU_MEMORY_REFS};
+use mcag_models::traffic::{allgather_traffic, AllgatherAlgo};
+use mcag_simnet::Topology;
+use mcag_verbs::LinkRate;
+
+/// Fig. 2: total link traffic of one Allgather on modeled fat-trees,
+/// multicast vs. unicast schedules.
+pub fn fig2() -> FigData {
+    let mut f = FigData::new(
+        "fig2",
+        "Theoretical traffic of Allgather algorithms on fat-trees (N = 1 MiB per rank)",
+        &[
+            "cluster",
+            "ranks",
+            "algorithm",
+            "total link bytes",
+            "per-rank send",
+            "vs mcast",
+        ],
+    );
+    let n: u64 = 1 << 20;
+    let clusters: Vec<(&str, Topology)> = vec![
+        (
+            "2-level 128h",
+            Topology::fat_tree_two_level(128, 8, 4, 1, LinkRate::NDR_400G, 300),
+        ),
+        (
+            "2-level 512h",
+            Topology::fat_tree_two_level(512, 32, 16, 1, LinkRate::NDR_400G, 300),
+        ),
+        ("3-level 1024h radix-32", Topology::fig2_cluster(LinkRate::NDR_400G)),
+    ];
+    for (name, topo) in &clusters {
+        let p = topo.num_hosts() as u64;
+        let mc = allgather_traffic(topo, AllgatherAlgo::Mcast, n);
+        let algos: Vec<(&str, AllgatherAlgo)> = if p.is_power_of_two() {
+            vec![
+                ("mcast (ours)", AllgatherAlgo::Mcast),
+                ("ring", AllgatherAlgo::Ring),
+                ("recursive-doubling", AllgatherAlgo::RecursiveDoubling),
+                ("linear", AllgatherAlgo::Linear),
+            ]
+        } else {
+            vec![
+                ("mcast (ours)", AllgatherAlgo::Mcast),
+                ("ring", AllgatherAlgo::Ring),
+                ("linear", AllgatherAlgo::Linear),
+            ]
+        };
+        for (aname, algo) in algos {
+            let t = allgather_traffic(topo, algo, n);
+            f.row(vec![
+                name.to_string(),
+                p.to_string(),
+                aname.to_string(),
+                human_bytes(t.total_link_bytes),
+                human_bytes(t.host_send_bytes / p),
+                format!("{:.2}x", t.total_link_bytes as f64 / mc.total_link_bytes as f64),
+            ]);
+        }
+    }
+    f.note("paper: multicast moves every byte over every link once; P2P schedules move ~1.5-2x more through the fabric (Fig. 2/12)");
+    f.note("per-rank send volume: N for multicast (constant in P), N*(P-1) for every unicast algorithm (Insight 1)");
+    f
+}
+
+/// Fig. 3: per-NIC send/receive volumes of {AG, RS} configurations.
+pub fn fig3() -> FigData {
+    let mut f = FigData::new(
+        "fig3",
+        "Data movement at the training-node boundary (P = 1024, N = 8 MiB shards)",
+        &["configuration", "collective", "NIC send", "NIC recv"],
+    );
+    let (p, n) = (1024u32, 8u64 << 20);
+    let rows: Vec<(&str, &str, Collective)> = vec![
+        ("{ring, ring}", "Allgather (ring)", Collective::AllgatherRing),
+        ("{ring, ring}", "Reduce-Scatter (ring)", Collective::ReduceScatterRing),
+        ("{mcast, INC}", "Allgather (mcast)", Collective::AllgatherMcast),
+        ("{mcast, INC}", "Reduce-Scatter (INC)", Collective::ReduceScatterInc),
+    ];
+    for (cfg, cname, c) in rows {
+        let b = node_boundary(c, p, n);
+        f.row(vec![
+            cfg.to_string(),
+            cname.to_string(),
+            human_bytes(b.send_bytes),
+            human_bytes(b.recv_bytes),
+        ]);
+    }
+    let rr = pair_boundary(
+        Collective::AllgatherRing,
+        Collective::ReduceScatterRing,
+        p,
+        n,
+    );
+    let opt = pair_boundary(
+        Collective::AllgatherMcast,
+        Collective::ReduceScatterInc,
+        p,
+        n,
+    );
+    f.row(vec![
+        "{ring, ring} total".into(),
+        "-".into(),
+        human_bytes(rr.send_bytes),
+        human_bytes(rr.recv_bytes),
+    ]);
+    f.row(vec![
+        "{mcast, INC} total".into(),
+        "-".into(),
+        human_bytes(opt.send_bytes),
+        human_bytes(opt.recv_bytes),
+    ]);
+    f.note("the bandwidth-optimal pair loads each NIC direction with N*P instead of 2*N*(P-1): the collectives do not share bottlenecks (Insight 2)");
+    f
+}
+
+/// Fig. 7: receive-buffer and bitmap sizes vs. PSN bits.
+pub fn fig7() -> FigData {
+    let mut f = FigData::new(
+        "fig7",
+        "Max Allgather receive buffer and bitmap size vs PSN bits (4 KiB MTU)",
+        &[
+            "PSN bits",
+            "coll-id bits",
+            "max recv buffer",
+            "bitmap",
+            "fits DPA LLC (1.5MB)",
+        ],
+    );
+    for s in fig7_sweep(4096) {
+        if s.psn_bits < 16 {
+            continue;
+        }
+        f.row(vec![
+            s.psn_bits.to_string(),
+            s.coll_bits.to_string(),
+            human_bytes(s.max_recv_buffer),
+            human_bytes(s.bitmap_bytes),
+            if s.fits(DPA_LLC_BYTES) { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    for (name, mem) in GPU_MEMORY_REFS {
+        f.note(format!("device memory reference: {name} = {}", human_bytes(*mem)));
+    }
+    let max = BitmapSizing::new(23, 4096);
+    f.note(format!(
+        "largest power-of-two fit in the LLC: {} bits -> {} buffer ({} bitmap); \
+         filling all 1.5 MB addresses ~51.5 GB as the paper states",
+        max.psn_bits,
+        human_bytes(max.max_recv_buffer),
+        human_bytes(max.bitmap_bytes),
+    ));
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_has_all_clusters_and_sane_ratios() {
+        let f = fig2();
+        assert!(f.rows.len() >= 9);
+        // Every non-mcast row's ratio vs mcast must exceed 1.
+        for row in &f.rows {
+            if row[2] != "mcast (ours)" {
+                let ratio: f64 = row[5].trim_end_matches('x').parse().unwrap();
+                assert!(ratio > 1.0, "{row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_totals_halve() {
+        let f = fig3();
+        assert_eq!(f.rows.len(), 6);
+    }
+
+    #[test]
+    fn fig7_covers_default_layout() {
+        let f = fig7();
+        assert!(f.rows.iter().any(|r| r[0] == "24"));
+    }
+}

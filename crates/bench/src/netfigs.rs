@@ -1,0 +1,346 @@
+//! Fabric-scale figures on the simulated 188-node UCC testbed:
+//! Fig. 10 (critical-path breakdown), Fig. 11 (throughput at scale),
+//! Fig. 12 (switch-counter traffic savings), Appendix B (measured
+//! concurrent {AG, RS} speedup).
+
+use crate::data::{human_bytes, FigData};
+use mcag_baselines::{
+    binary_tree_broadcast, knomial_broadcast, pipelined_chain_broadcast, ring_allgather,
+    ring_reduce_scatter, run_p2p, run_p2p_concurrent, scatter_allgather_broadcast,
+};
+use mcag_core::{des, run_concurrent_ag_rs, CollectiveKind, ProtocolConfig};
+use mcag_simnet::{FabricConfig, Topology};
+use mcag_verbs::{LinkRate, Mtu, Rank};
+
+/// Coarsen the simulated chunk size for large buffers so event counts
+/// stay tractable: target ≤ ~192 chunks per root buffer. Timing stays
+/// faithful because large-message collectives are bandwidth-dominated;
+/// per-CQE costs matter at small sizes, where the true 4 KiB MTU is used.
+pub fn sim_mtu_for(n: usize) -> Mtu {
+    let mut m = 4096usize;
+    while n / m > 192 && m < (256 << 10) {
+        m *= 2;
+    }
+    Mtu::new(m)
+}
+
+/// Segmentation for unicast baselines with the same ≤~192 segment target.
+pub fn seg_for(n: usize) -> usize {
+    sim_mtu_for(n).bytes()
+}
+
+fn mcast_proto(n: usize) -> ProtocolConfig {
+    ProtocolConfig {
+        mtu: sim_mtu_for(n),
+        ..ProtocolConfig::default()
+    }
+}
+
+/// A scaled-down UCC-style topology for rank sweeps.
+fn scaled_topo(p: usize) -> Topology {
+    if p <= 16 {
+        Topology::single_switch(p, LinkRate::CX3_56G, 300)
+    } else {
+        let leaves = p.div_ceil(16);
+        let spines = (leaves / 2).max(1);
+        Topology::fat_tree_two_level(p, leaves, spines, 3, LinkRate::CX3_56G, 300)
+    }
+}
+
+/// Fig. 10: where the Allgather critical path goes as scale and message
+/// size grow.
+pub fn fig10() -> FigData {
+    let mut f = FigData::new(
+        "fig10",
+        "Allgather critical-path breakdown (mean across ranks)",
+        &["ranks", "message", "RNR sync", "mcast datapath", "final sync"],
+    );
+    for p in [4usize, 16, 64, 188] {
+        for n in [16usize << 10, 256 << 10, 4 << 20] {
+            let out = des::run_collective(
+                scaled_topo(p),
+                FabricConfig::ucc_default(),
+                mcast_proto(n),
+                CollectiveKind::Allgather,
+                n,
+            );
+            assert!(out.stats.all_done(), "p={p} n={n}");
+            let (s, d, fin) = out.mean_breakdown_ns();
+            let tot = (s + d + fin).max(1.0);
+            f.row(vec![
+                p.to_string(),
+                human_bytes(n as u64),
+                format!("{:.1}%", 100.0 * s / tot),
+                format!("{:.1}%", 100.0 * d / tot),
+                format!("{:.1}%", 100.0 * fin / tot),
+            ]);
+        }
+    }
+    f.note("paper: from 16 nodes upward, 99% of progress-path time is the non-blocking multicast datapath for large messages");
+    f
+}
+
+/// Fig. 11: per-process receive throughput at the full 188-node scale.
+pub fn fig11() -> FigData {
+    let mut f = FigData::new(
+        "fig11",
+        "188-node per-rank receive throughput (Gbit/s), mean [CV]",
+        &[
+            "message",
+            "bcast mcast",
+            "bcast chain(pipe)",
+            "bcast scatter-AG",
+            "bcast 4-nomial",
+            "bcast binary-tree",
+            "AG mcast",
+            "AG ring",
+        ],
+    );
+    let p = 188u32;
+    let root = Rank(0);
+    for n in [16usize << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20] {
+        let seg = seg_for(n);
+        // Multicast Broadcast.
+        let bc = des::run_collective(
+            Topology::ucc_testbed(),
+            FabricConfig::ucc_default(),
+            mcast_proto(n),
+            CollectiveKind::Broadcast { root },
+            n,
+        );
+        assert!(bc.stats.all_done());
+        // Multicast Allgather.
+        let ag = des::run_collective(
+            Topology::ucc_testbed(),
+            FabricConfig::ucc_default(),
+            mcast_proto(n),
+            CollectiveKind::Allgather,
+            n,
+        );
+        assert!(ag.stats.all_done());
+        // P2P baselines.
+        let cfg = FabricConfig::ucc_default();
+        // Deep chains need fine segments or the pipeline-fill latency
+        // (depth x segment time) dominates — as in real NCCL rings.
+        let chain_seg = (n / 512).clamp(4096, 16 << 10);
+        let chain = run_p2p(
+            Topology::ucc_testbed(),
+            cfg.clone(),
+            pipelined_chain_broadcast(p, root, n, chain_seg),
+            chain_seg,
+        );
+        let sag = run_p2p(
+            Topology::ucc_testbed(),
+            cfg.clone(),
+            scatter_allgather_broadcast(p, root, n),
+            seg,
+        );
+        let knom = run_p2p(
+            Topology::ucc_testbed(),
+            cfg.clone(),
+            knomial_broadcast(p, root, n, 4),
+            seg,
+        );
+        let btree = run_p2p(
+            Topology::ucc_testbed(),
+            cfg.clone(),
+            binary_tree_broadcast(p, root, n),
+            seg,
+        );
+        let ring = run_p2p(Topology::ucc_testbed(), cfg, ring_allgather(p, n), seg);
+
+        let bcast_gbps = |o: &mcag_baselines::P2POutcome| {
+            let v = o.recv_gbps(0, |r| if r == root { 0 } else { n as u64 });
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let ring_gbps = {
+            let v = ring.recv_gbps(0, |_| (n as u64) * (p as u64 - 1));
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        f.row(vec![
+            human_bytes(n as u64),
+            format!("{:.1} [{:.2}]", bc.mean_recv_gbps(), bc.recv_gbps_cv()),
+            format!("{:.1}", bcast_gbps(&chain)),
+            format!("{:.1}", bcast_gbps(&sag)),
+            format!("{:.1}", bcast_gbps(&knom)),
+            format!("{:.1}", bcast_gbps(&btree)),
+            format!("{:.1} [{:.2}]", ag.mean_recv_gbps(), ag.recv_gbps_cv()),
+            format!("{:.1}", ring_gbps),
+        ]);
+    }
+    f.note("paper: mcast Broadcast beats the best P2P scheme by up to 1.3x (our pipelined-chain/scatter-AG baselines bracket UCC's bandwidth-optimized bcast) and binary tree by up to 4.75x");
+    f.note("paper: mcast Allgather matches ring at 128-256 KiB (both receive-bound); mcast shows much lower variability (CV)");
+    f
+}
+
+/// Fig. 12: switch port counters across the 18 switches, 64 KiB messages,
+/// 10 iterations.
+pub fn fig12() -> FigData {
+    let mut f = FigData::new(
+        "fig12",
+        "Traffic across all 18 switches (port RX+TX counters; 64 KiB, 10 iterations)",
+        &["collective", "algorithm", "switch-port bytes", "savings vs P2P"],
+    );
+    let p = 188u32;
+    let n = 64usize << 10;
+    let iters = 10usize;
+    let root = Rank(0);
+
+    let mcast_bcast = des::run_iterations(
+        Topology::ucc_testbed,
+        FabricConfig::ucc_default(),
+        mcast_proto(n),
+        CollectiveKind::Broadcast { root },
+        n,
+        iters,
+    );
+    let mcast_ag = des::run_iterations(
+        Topology::ucc_testbed,
+        FabricConfig::ucc_default(),
+        mcast_proto(n),
+        CollectiveKind::Allgather,
+        n,
+        iters,
+    );
+    let sum_switch = |outs: &[mcag_core::CollectiveOutcome]| -> u64 {
+        outs.iter()
+            .map(|o| o.traffic.switch_port_rxtx_bytes(&Topology::ucc_testbed()))
+            .sum()
+    };
+    let bc_mc = sum_switch(&mcast_bcast);
+    let ag_mc = sum_switch(&mcast_ag);
+
+    let topo = Topology::ucc_testbed;
+    let seg = seg_for(n);
+    let mut bc_p2p = 0u64;
+    let mut ag_p2p = 0u64;
+    for i in 0..iters {
+        let mut cfg = FabricConfig::ucc_default();
+        cfg.seed = cfg.seed.wrapping_add(i as u64);
+        let b = run_p2p(topo(), cfg.clone(), knomial_broadcast(p, root, n, 4), seg);
+        bc_p2p += b.traffic.switch_port_rxtx_bytes(&topo());
+        let a = run_p2p(topo(), cfg, ring_allgather(p, n), seg);
+        ag_p2p += a.traffic.switch_port_rxtx_bytes(&topo());
+    }
+
+    f.row(vec![
+        "Broadcast".into(),
+        "mcast (ours)".into(),
+        human_bytes(bc_mc),
+        format!("{:.2}x", bc_p2p as f64 / bc_mc as f64),
+    ]);
+    f.row(vec![
+        "Broadcast".into(),
+        "4-nomial (P2P)".into(),
+        human_bytes(bc_p2p),
+        "1.00x".into(),
+    ]);
+    f.row(vec![
+        "Allgather".into(),
+        "mcast (ours)".into(),
+        human_bytes(ag_mc),
+        format!("{:.2}x", ag_p2p as f64 / ag_mc as f64),
+    ]);
+    f.row(vec![
+        "Allgather".into(),
+        "ring (P2P)".into(),
+        human_bytes(ag_p2p),
+        "1.00x".into(),
+    ]);
+    f.note("paper: 1.5x-2x reduction in data movement measured from switch port counters");
+    f
+}
+
+/// Appendix B: measured speedup of `{AG_mc, RS_inc}` over
+/// `{AG_ring, RS_ring}` against the model `S = 2 − 2/P`.
+pub fn appb() -> FigData {
+    let mut f = FigData::new(
+        "appb",
+        "Concurrent {Allgather, Reduce-Scatter}: measured vs modeled speedup (N = 256 KiB)",
+        &[
+            "ranks",
+            "ring+ring (us)",
+            "mcast+INC (us)",
+            "speedup",
+            "model 2-2/P",
+        ],
+    );
+    let n = 256usize << 10;
+    for p in [4u32, 8, 16, 32] {
+        let topo = || Topology::single_switch(p as usize, LinkRate::CX3_56G, 100);
+        let ring = run_p2p_concurrent(
+            topo(),
+            FabricConfig::ideal(),
+            vec![ring_allgather(p, n), ring_reduce_scatter(p, n)],
+            seg_for(n),
+        );
+        assert!(ring.stats.all_done());
+        let t_ring = ring
+            .flow_completion_ns(0)
+            .max(ring.flow_completion_ns(1));
+        let opt = run_concurrent_ag_rs(
+            topo(),
+            FabricConfig::ideal(),
+            ProtocolConfig {
+                chains: p,
+                mtu: sim_mtu_for(n),
+                ..ProtocolConfig::default()
+            },
+            n,
+        );
+        assert!(opt.stats.all_done());
+        let t_opt = opt.pair_completion_ns();
+        f.row(vec![
+            p.to_string(),
+            format!("{:.1}", t_ring as f64 / 1e3),
+            format!("{:.1}", t_opt as f64 / 1e3),
+            format!("{:.2}", t_ring as f64 / t_opt as f64),
+            format!("{:.2}", 2.0 - 2.0 / p as f64),
+        ]);
+    }
+    f.note("the reduction itself happens inside the simulated switches (SHARP-style); both pairs share NIC round-robin arbitration and links");
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_mtu_targets_chunk_budget() {
+        assert_eq!(sim_mtu_for(64 << 10).bytes(), 4096);
+        assert_eq!(sim_mtu_for(1 << 20).bytes(), 8192);
+        assert!(sim_mtu_for(64 << 20).bytes() <= 256 << 10);
+        for n in [4 << 10, 1 << 20, 8 << 20] {
+            let m = sim_mtu_for(n);
+            assert!(n / m.bytes() <= 192, "{n}");
+        }
+    }
+
+    #[test]
+    fn fig10_small_scale_smoke() {
+        // Full fig10 runs in the binary; smoke-test one cell here.
+        let out = des::run_collective(
+            scaled_topo(8),
+            FabricConfig::ucc_default(),
+            mcast_proto(64 << 10),
+            CollectiveKind::Allgather,
+            64 << 10,
+        );
+        assert!(out.stats.all_done());
+    }
+
+    #[test]
+    fn appb_speedup_grows_with_p() {
+        let f = appb();
+        let speedups: Vec<f64> = f
+            .rows
+            .iter()
+            .map(|r| r[3].parse::<f64>().unwrap())
+            .collect();
+        assert!(speedups.windows(2).all(|w| w[1] >= w[0] - 0.08),
+            "speedup not growing: {speedups:?}");
+        let last = *speedups.last().unwrap();
+        assert!(last > 1.4, "32-rank speedup only {last}");
+    }
+}

@@ -1,0 +1,485 @@
+//! The concurrent `{Allgather, Reduce-Scatter}` experiment (Section II
+//! and Appendix B).
+//!
+//! FSDP interleaves Allgather (parameter fetch) and Reduce-Scatter
+//! (gradient sync) on independent shards, so both compete for NIC
+//! injection bandwidth. The paper's headline system claim is that the
+//! bandwidth-optimal pair — multicast Allgather plus in-network-compute
+//! Reduce-Scatter — "don't share network bottlenecks" and finish up to
+//! `S = 2 − 2/P` faster than `{ring, ring}`.
+//!
+//! This module runs the real pair on the DES fabric: the multicast
+//! Allgather state machine and a SHARP-style Reduce-Scatter whose
+//! reductions happen inside the simulated switches, sharing each NIC's
+//! round-robin QP arbiter and every fabric link.
+
+use crate::msg::ControlMsg;
+use crate::plan::{CollectiveKind, CollectivePlan};
+use crate::protocol::{McastRankApp, QpLayout, RankTiming};
+use crate::ProtocolConfig;
+use mcag_simnet::fabric::RunStats;
+use mcag_simnet::{Ctx, Fabric, FabricConfig, Payload, RankApp, SimTime, Topology, TrafficReport};
+use mcag_verbs::{CollectiveId, Cqe, CqeOpcode, ImmLayout, McastGroupId, Mtu, QpNum, Rank};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+const RS_TX_TOKEN: u64 = 5;
+
+/// Per-rank `(start, end)` completion records, filled as ranks finish.
+pub type RsTimes = Rc<RefCell<Vec<Option<(SimTime, SimTime)>>>>;
+
+/// In-network-compute Reduce-Scatter endpoint: contributes every foreign
+/// shard into the switch reduction tree and waits for its own reduced
+/// shard to come back down.
+pub struct IncRsApp {
+    p: u32,
+    me: Rank,
+    shard_len: usize,
+    mtu: Mtu,
+    imm: ImmLayout,
+    coll: CollectiveId,
+    qp: QpNum,
+    group: McastGroupId,
+    chunks_per_shard: u32,
+    got: u32,
+    tx_done: bool,
+    released: bool,
+    auto_mark_done: bool,
+    t_start: SimTime,
+    t_done: Option<SimTime>,
+    results: RsTimes,
+}
+
+impl IncRsApp {
+    /// Build the endpoint. `shard_len` is `N` (bytes of the reduced shard
+    /// each rank keeps; the input vector is `N·P`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        p: u32,
+        me: Rank,
+        shard_len: usize,
+        mtu: Mtu,
+        imm: ImmLayout,
+        coll: CollectiveId,
+        qp: QpNum,
+        group: McastGroupId,
+        results: RsTimes,
+    ) -> IncRsApp {
+        IncRsApp {
+            p,
+            me,
+            shard_len,
+            mtu,
+            imm,
+            coll,
+            qp,
+            group,
+            chunks_per_shard: mtu.chunks_for(shard_len) as u32,
+            got: 0,
+            tx_done: false,
+            released: false,
+            auto_mark_done: true,
+            t_start: SimTime::ZERO,
+            t_done: None,
+            results,
+        }
+    }
+
+    /// Disable automatic `mark_done` (composite drivers).
+    pub fn set_auto_mark_done(&mut self, auto: bool) {
+        self.auto_mark_done = auto;
+    }
+
+    /// Finished (shard received and contributions drained)?
+    pub fn is_released(&self) -> bool {
+        self.released
+    }
+
+    fn maybe_done(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
+        if self.released || !self.tx_done || self.got < self.chunks_per_shard {
+            return;
+        }
+        self.released = true;
+        self.t_done = Some(ctx.now());
+        self.results.borrow_mut()[self.me.idx()] = Some((self.t_start, ctx.now()));
+        if self.auto_mark_done {
+            ctx.mark_done();
+        }
+    }
+}
+
+impl RankApp<ControlMsg> for IncRsApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
+        self.t_start = ctx.now();
+        // Contribute every shard except our own: N(P−1) bytes up the
+        // reduction tree (eq. 2's RS send volume). Our own shard's local
+        // contribution is folded in at delivery, as SHARP endpoints do.
+        for shard in 0..self.p {
+            if shard == self.me.0 {
+                continue;
+            }
+            for c in 0..self.chunks_per_shard {
+                let psn = shard * self.chunks_per_shard + c;
+                let len = self.mtu.chunk_range(c, self.shard_len).len();
+                ctx.post_inc_chunk(
+                    self.qp,
+                    self.group,
+                    self.imm.pack(self.coll, psn),
+                    Rank(shard),
+                    self.qp,
+                    psn,
+                    len,
+                );
+            }
+        }
+        ctx.notify_tx_drained(self.qp, RS_TX_TOKEN);
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_, ControlMsg>, cqe: Cqe, _payload: Payload<ControlMsg>) {
+        assert_eq!(cqe.opcode, CqeOpcode::Recv);
+        let (coll, psn) = self.imm.unpack(cqe.imm.expect("reduced shard without imm"));
+        assert_eq!(coll, self.coll, "crossed collective traffic");
+        let shard = psn / self.chunks_per_shard;
+        assert_eq!(shard, self.me.0, "received a shard we do not own");
+        self.got += 1;
+        self.maybe_done(ctx);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, ControlMsg>, _token: u64) {
+        unreachable!("INC RS arms no timers");
+    }
+
+    fn on_tx_drained(&mut self, ctx: &mut Ctx<'_, ControlMsg>, token: u64) {
+        assert_eq!(token, RS_TX_TOKEN);
+        self.tx_done = true;
+        self.maybe_done(ctx);
+    }
+}
+
+/// Composite endpoint: multicast Allgather and INC Reduce-Scatter running
+/// concurrently on one rank, dispatched by QP.
+pub struct AgRsDuplexApp {
+    ag: McastRankApp,
+    rs: IncRsApp,
+    rs_qp: QpNum,
+    marked: bool,
+}
+
+impl AgRsDuplexApp {
+    /// Compose the two endpoints (both must have auto-mark-done off).
+    pub fn new(mut ag: McastRankApp, mut rs: IncRsApp, rs_qp: QpNum) -> AgRsDuplexApp {
+        ag.set_auto_mark_done(false);
+        rs.set_auto_mark_done(false);
+        AgRsDuplexApp {
+            ag,
+            rs,
+            rs_qp,
+            marked: false,
+        }
+    }
+
+    fn maybe_mark(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
+        if !self.marked && self.ag.is_released() && self.rs.is_released() {
+            self.marked = true;
+            ctx.mark_done();
+        }
+    }
+}
+
+impl RankApp<ControlMsg> for AgRsDuplexApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
+        self.ag.on_start(ctx);
+        self.rs.on_start(ctx);
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_, ControlMsg>, cqe: Cqe, payload: Payload<ControlMsg>) {
+        if cqe.qp == self.rs_qp {
+            self.rs.on_cqe(ctx, cqe, payload);
+        } else {
+            self.ag.on_cqe(ctx, cqe, payload);
+        }
+        self.maybe_mark(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ControlMsg>, token: u64) {
+        self.ag.on_timer(ctx, token);
+        self.maybe_mark(ctx);
+    }
+
+    fn on_tx_drained(&mut self, ctx: &mut Ctx<'_, ControlMsg>, token: u64) {
+        if token == RS_TX_TOKEN {
+            self.rs.on_tx_drained(ctx, token);
+        } else {
+            self.ag.on_tx_drained(ctx, token);
+        }
+        self.maybe_mark(ctx);
+    }
+}
+
+/// Outcome of the concurrent pair.
+#[derive(Debug, Clone)]
+pub struct ConcurrentOutcome {
+    /// Allgather per-rank timings.
+    pub ag_timings: Vec<RankTiming>,
+    /// Reduce-Scatter `(start, end)` per rank.
+    pub rs_times: Vec<Option<(SimTime, SimTime)>>,
+    /// Fabric statistics.
+    pub stats: RunStats,
+    /// Link counters.
+    pub traffic: TrafficReport,
+}
+
+impl ConcurrentOutcome {
+    /// Wall time until *both* collectives finished everywhere (ns).
+    pub fn pair_completion_ns(&self) -> u64 {
+        let ag = self
+            .ag_timings
+            .iter()
+            .map(|t| t.total_ns())
+            .max()
+            .unwrap_or(0);
+        let rs = self
+            .rs_times
+            .iter()
+            .flatten()
+            .map(|(s, e)| e.since(*s))
+            .max()
+            .unwrap_or(0);
+        ag.max(rs)
+    }
+}
+
+/// Run `{AG_mc, RS_inc}` concurrently: every rank allgathers `send_len`
+/// bytes while reduce-scattering an `send_len·P` vector, sharing NICs
+/// and links.
+pub fn run_concurrent_ag_rs(
+    topo: Topology,
+    fabric_cfg: FabricConfig,
+    proto: ProtocolConfig,
+    send_len: usize,
+) -> ConcurrentOutcome {
+    let p = topo.num_hosts() as u32;
+    let plan = Arc::new(CollectivePlan::new(
+        CollectiveKind::Allgather,
+        p,
+        send_len,
+        proto.mtu,
+        proto.imm,
+        CollectiveId(1),
+        proto.subgroups,
+        proto.chains,
+    ));
+    let mut fab: Fabric<ControlMsg> = Fabric::new(topo, fabric_cfg.clone());
+
+    let host_link = *fab.topology().link(
+        fab.topology()
+            .uplinks(fab.topology().host_node(Rank(0)))[0],
+    );
+    // The pair roughly doubles the drain time of each collective (they
+    // share the NIC), so give the AG cutoff 3× the usual headroom.
+    let drain_ns = host_link.rate.serialization_ns(plan.recv_len()) * 3;
+    let steps = plan.sequencer().num_steps() as u64;
+    let cutoff_ns = drain_ns + proto.cutoff_alpha_ns + proto.cutoff_per_step_ns * steps;
+
+    let members: Vec<Rank> = (0..p).map(Rank).collect();
+    let n_workers = fabric_cfg.host.rx_workers.max(1);
+    let ag_groups: Vec<_> = (0..plan.num_subgroups())
+        .map(|_| fab.create_group(&members))
+        .collect();
+    let rs_group = fab.create_group(&members);
+
+    let ag_results = Rc::new(RefCell::new(vec![RankTiming::default(); p as usize]));
+    let rs_results = Rc::new(RefCell::new(vec![None; p as usize]));
+    for &r in &members {
+        let ctrl = fab.add_qp(r, mcag_verbs::Transport::Rc, 0);
+        let mut subgroup_qps = Vec::new();
+        for (j, &g) in ag_groups.iter().enumerate() {
+            let qp = fab.add_qp(r, mcag_verbs::Transport::Ud, j % n_workers);
+            fab.attach(r, qp, g);
+            subgroup_qps.push(qp);
+        }
+        // No attach for the RS QP: contributions enter the reduction
+        // tree by membership and results return as routed unicast.
+        let rs_qp = fab.add_qp(r, mcag_verbs::Transport::Rc, 0);
+        let ag = McastRankApp::new(
+            Arc::clone(&plan),
+            r,
+            QpLayout {
+                ctrl,
+                subgroup_qps,
+                groups: ag_groups.clone(),
+            },
+            cutoff_ns,
+            Rc::clone(&ag_results),
+        );
+        let rs = IncRsApp::new(
+            p,
+            r,
+            send_len,
+            proto.mtu,
+            proto.imm,
+            CollectiveId(3),
+            rs_qp,
+            rs_group,
+            Rc::clone(&rs_results),
+        );
+        fab.set_app(r, Box::new(AgRsDuplexApp::new(ag, rs, rs_qp)));
+    }
+
+    let stats = fab.run();
+    let traffic = fab.traffic();
+    let ag_timings = ag_results.borrow().clone();
+    let rs_times = rs_results.borrow().clone();
+    ConcurrentOutcome {
+        ag_timings,
+        rs_times,
+        stats,
+        traffic,
+    }
+}
+
+/// Run the INC Reduce-Scatter alone (for the Fig. 3 decomposition).
+pub fn run_inc_reduce_scatter(
+    topo: Topology,
+    fabric_cfg: FabricConfig,
+    mtu: Mtu,
+    shard_len: usize,
+) -> ConcurrentOutcome {
+    let p = topo.num_hosts() as u32;
+    let mut fab: Fabric<ControlMsg> = Fabric::new(topo, fabric_cfg);
+    let members: Vec<Rank> = (0..p).map(Rank).collect();
+    let group = fab.create_group(&members);
+    let results = Rc::new(RefCell::new(vec![None; p as usize]));
+    for &r in &members {
+        let qp = fab.add_qp(r, mcag_verbs::Transport::Rc, 0);
+        fab.set_app(
+            r,
+            Box::new(IncRsApp::new(
+                p,
+                r,
+                shard_len,
+                mtu,
+                ImmLayout::DEFAULT,
+                CollectiveId(3),
+                qp,
+                group,
+                Rc::clone(&results),
+            )),
+        );
+    }
+    let stats = fab.run();
+    let traffic = fab.traffic();
+    let rs_times = results.borrow().clone();
+    ConcurrentOutcome {
+        ag_timings: Vec::new(),
+        rs_times,
+        stats,
+        traffic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcag_verbs::LinkRate;
+
+    fn star(n: usize) -> Topology {
+        Topology::single_switch(n, LinkRate::CX3_56G, 100)
+    }
+
+    #[test]
+    fn inc_reduce_scatter_completes() {
+        let out = run_inc_reduce_scatter(
+            star(6),
+            FabricConfig::ucc_default(),
+            Mtu::IB_4K,
+            64 << 10,
+        );
+        assert!(out.stats.all_done(), "{:?}", out.stats);
+        for t in out.rs_times.iter() {
+            assert!(t.is_some());
+        }
+    }
+
+    #[test]
+    fn inc_rs_is_bandwidth_optimal_on_the_wire() {
+        // Up-traffic: each rank injects N(P-1); each switch-child link
+        // carries at most one merged copy per (shard, chunk) stream; the
+        // down-traffic is one shard per rank. On a star: uplinks carry
+        // N(P-1) each, downlinks carry N each.
+        let n: u64 = 64 << 10;
+        let p = 6u64;
+        let out = run_inc_reduce_scatter(
+            star(p as usize),
+            FabricConfig::ideal(),
+            Mtu::IB_4K,
+            n as usize,
+        );
+        let total = out.traffic.total_data_bytes();
+        // P uplinks x N(P-1) + P downlinks x N.
+        assert_eq!(total, p * n * (p - 1) + p * n);
+    }
+
+    #[test]
+    fn concurrent_pair_completes() {
+        let out = run_concurrent_ag_rs(
+            star(4),
+            FabricConfig::ucc_default(),
+            ProtocolConfig::default(),
+            32 << 10,
+        );
+        assert!(out.stats.all_done(), "{:?}", out.stats);
+        assert!(out.pair_completion_ns() > 0);
+    }
+
+    #[test]
+    fn appendix_b_speedup_shape() {
+        // {AG_mc, RS_inc} vs {AG_ring, RS_ring} on the same fabric: the
+        // measured speedup should approach 2 - 2/P.
+        use mcag_baselines_shim::*;
+        let p = 8u32;
+        let n = 256 << 10;
+        // Appendix B's fluid model has every rank's send path busy with
+        // its own multicast; that corresponds to fully parallel chains
+        // (M = P). With M = 1 the sequential root bursts each run at the
+        // NIC's shared rate and the chain stretches ~2x.
+        let opt = run_concurrent_ag_rs(
+            star(p as usize),
+            FabricConfig::ideal(),
+            ProtocolConfig::parallel(1, p),
+            n,
+        );
+        assert!(opt.stats.all_done());
+        let t_opt = opt.pair_completion_ns();
+        let t_ring = ring_ring_completion_ns(p, n);
+        let s = t_ring as f64 / t_opt as f64;
+        let expect = 2.0 - 2.0 / p as f64;
+        assert!(
+            (s - expect).abs() / expect < 0.35,
+            "speedup {s:.2} vs expected {expect:.2}"
+        );
+    }
+
+    /// Minimal ring+ring reference implemented locally (mcag-baselines
+    /// depends on simnet, not on core, so tests shim the comparison here;
+    /// the bench crate uses the real baselines executor).
+    mod mcag_baselines_shim {
+        use super::*;
+
+        pub fn ring_ring_completion_ns(p: u32, n: usize) -> u64 {
+            // Both rings move N(P-1) in each NIC direction, sharing the
+            // link: the serialization bound is 2·N(P-1)/B plus per-hop
+            // latencies; measure it on the fabric with a tiny
+            // schedule-driven app rather than closed form.
+            // Here: analytic lower bound with the same wire overhead
+            // model used by the fabric (headers per 64 KiB segment).
+            let link = LinkRate::CX3_56G;
+            let seg: u64 = 64 << 10;
+            let msgs = (n as u64).div_ceil(seg);
+            let wire_per_step = link.serialization_ns(n + (msgs as usize) * 64);
+            // 2 flows x (P-1) steps sharing the injection port.
+            2 * (p as u64 - 1) * wire_per_step
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Driver: sets up a discrete-event fabric, installs the protocol
+//! endpoints, runs the collective, and packages the outcome (timings,
+//! traffic counters, drop statistics) for analysis — the simulated
+//! equivalent of an OSU-benchmark iteration with switch-counter
+//! collection (Section VI-B methodology).
+
+use crate::msg::ControlMsg;
+use crate::plan::{CollectiveKind, CollectivePlan};
+use crate::protocol::{McastRankApp, QpLayout, RankTiming};
+use crate::ProtocolConfig;
+use mcag_simnet::fabric::RunStats;
+use mcag_simnet::{Fabric, FabricConfig, Topology, TrafficReport};
+use mcag_verbs::{CollectiveId, Rank, Transport};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Result of one collective run on the DES fabric.
+#[derive(Debug, Clone)]
+pub struct CollectiveOutcome {
+    /// The executed plan.
+    pub plan: Arc<CollectivePlan>,
+    /// Per-rank phase timings.
+    pub timings: Vec<RankTiming>,
+    /// Fabric run statistics.
+    pub stats: RunStats,
+    /// Link counters (switch-port view included).
+    pub traffic: TrafficReport,
+    /// Total receiver-not-ready drops.
+    pub rnr_drops: u64,
+    /// Total fabric (corruption) drops.
+    pub fabric_drops: u64,
+}
+
+impl CollectiveOutcome {
+    /// Per-rank receive throughput in Gbit/s for ranks that actually
+    /// receive data (Broadcast roots are excluded, as in Fig. 11's
+    /// "measurements only on leaf ranks").
+    pub fn per_rank_recv_gbps(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (i, t) in self.timings.iter().enumerate() {
+            let bytes = self.plan.expected_psn_bytes(Rank(i as u32));
+            let ns = t.total_ns();
+            if bytes == 0 || ns == 0 {
+                continue;
+            }
+            out.push(bytes as f64 * 8.0 / ns as f64);
+        }
+        out
+    }
+
+    /// Mean receive throughput (Gbit/s) over receiving ranks.
+    pub fn mean_recv_gbps(&self) -> f64 {
+        let v = self.per_rank_recv_gbps();
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    /// Coefficient of variation of per-rank throughput — the paper's
+    /// "performance variability" observation (Section VI-B(c)).
+    pub fn recv_gbps_cv(&self) -> f64 {
+        let v = self.per_rank_recv_gbps();
+        if v.len() < 2 {
+            return 0.0;
+        }
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// Wall time of the whole collective (last rank release).
+    pub fn completion_ns(&self) -> u64 {
+        self.timings.iter().map(|t| t.total_ns()).max().unwrap_or(0)
+    }
+
+    /// Mean phase breakdown across ranks: `(sync, datapath, final)` in ns.
+    pub fn mean_breakdown_ns(&self) -> (f64, f64, f64) {
+        let n = self.timings.len().max(1) as f64;
+        let s: u64 = self.timings.iter().map(|t| t.sync_ns()).sum();
+        let d: u64 = self.timings.iter().map(|t| t.datapath_ns()).sum();
+        let f: u64 = self.timings.iter().map(|t| t.final_sync_ns()).sum();
+        (s as f64 / n, d as f64 / n, f as f64 / n)
+    }
+
+    /// Total chunks recovered via the slow path, across ranks.
+    pub fn total_fetched(&self) -> u64 {
+        self.timings.iter().map(|t| t.fetched_chunks).sum()
+    }
+}
+
+impl CollectivePlan {
+    /// Bytes rank `r` must receive over the network (its own block, if it
+    /// broadcasts one, is already local).
+    pub fn expected_psn_bytes(&self, r: Rank) -> u64 {
+        match self.root_index(r) {
+            Some(_) => (self.recv_len() - self.send_len()) as u64,
+            None => self.recv_len() as u64,
+        }
+    }
+}
+
+/// Run one multicast collective on `topo`.
+pub fn run_collective(
+    topo: Topology,
+    fabric_cfg: FabricConfig,
+    proto: ProtocolConfig,
+    kind: CollectiveKind,
+    send_len: usize,
+) -> CollectiveOutcome {
+    let p = topo.num_hosts() as u32;
+    let plan = Arc::new(CollectivePlan::new(
+        kind,
+        p,
+        send_len,
+        proto.mtu,
+        proto.imm,
+        CollectiveId(1),
+        proto.subgroups,
+        proto.chains,
+    ));
+    let mut fab: Fabric<ControlMsg> = Fabric::new(topo, fabric_cfg.clone());
+
+    // Cutoff timer: ideal drain time of the receive buffer at the host
+    // link rate, plus slack (Section III-C).
+    let host_link = *fab.topology().link(
+        fab.topology()
+            .uplinks(fab.topology().host_node(Rank(0)))[0],
+    );
+    let drain_ns = host_link.rate.serialization_ns(plan.recv_len());
+    let steps = plan.sequencer().num_steps() as u64;
+    let cutoff_ns = drain_ns + proto.cutoff_alpha_ns + proto.cutoff_per_step_ns * steps;
+
+    let members: Vec<Rank> = (0..p).map(Rank).collect();
+    let n_workers = fabric_cfg.host.rx_workers.max(1);
+    let groups: Vec<_> = (0..plan.num_subgroups())
+        .map(|_| fab.create_group(&members))
+        .collect();
+
+    let results = Rc::new(RefCell::new(vec![RankTiming::default(); p as usize]));
+    for &r in &members {
+        let ctrl = fab.add_qp(r, Transport::Rc, 0);
+        let mut subgroup_qps = Vec::with_capacity(groups.len());
+        for (j, &g) in groups.iter().enumerate() {
+            let qp = fab.add_qp(r, Transport::Ud, j % n_workers);
+            fab.attach(r, qp, g);
+            subgroup_qps.push(qp);
+        }
+        let layout = QpLayout {
+            ctrl,
+            subgroup_qps,
+            groups: groups.clone(),
+        };
+        fab.set_app(
+            r,
+            Box::new(McastRankApp::new(
+                Arc::clone(&plan),
+                r,
+                layout,
+                cutoff_ns,
+                Rc::clone(&results),
+            )),
+        );
+    }
+
+    let stats = fab.run();
+    let traffic = fab.traffic();
+    let rnr = fab.total_rnr_drops();
+    let drops = fab.total_fabric_drops();
+    let timings = results.borrow().clone();
+    CollectiveOutcome {
+        plan,
+        timings,
+        stats,
+        traffic,
+        rnr_drops: rnr,
+        fabric_drops: drops,
+    }
+}
+
+/// Run `iters` iterations (fresh fabric each time, as OSU does between
+/// iterations), returning all outcomes. Traffic accumulates naturally by
+/// summing the reports.
+pub fn run_iterations(
+    mk_topo: impl Fn() -> Topology,
+    fabric_cfg: FabricConfig,
+    proto: ProtocolConfig,
+    kind: CollectiveKind,
+    send_len: usize,
+    iters: usize,
+) -> Vec<CollectiveOutcome> {
+    (0..iters)
+        .map(|i| {
+            let mut cfg = fabric_cfg.clone();
+            cfg.seed = fabric_cfg.seed.wrapping_add(i as u64);
+            run_collective(mk_topo(), cfg, proto, kind, send_len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcag_simnet::DropModel;
+    use mcag_verbs::LinkRate;
+
+    fn star(n: usize) -> Topology {
+        Topology::single_switch(n, LinkRate::CX3_56G, 100)
+    }
+
+    #[test]
+    fn broadcast_completes_on_star() {
+        let out = run_collective(
+            star(8),
+            FabricConfig::ucc_default(),
+            ProtocolConfig::default(),
+            CollectiveKind::Broadcast { root: Rank(0) },
+            64 << 10,
+        );
+        assert!(out.stats.all_done(), "{:?}", out.stats);
+        assert_eq!(out.rnr_drops, 0);
+        assert_eq!(out.fabric_drops, 0);
+        assert_eq!(out.total_fetched(), 0, "no recovery on lossless fabric");
+        assert_eq!(out.per_rank_recv_gbps().len(), 7, "root excluded");
+    }
+
+    #[test]
+    fn allgather_completes_on_star() {
+        let out = run_collective(
+            star(6),
+            FabricConfig::ucc_default(),
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            32 << 10,
+        );
+        assert!(out.stats.all_done());
+        assert_eq!(out.per_rank_recv_gbps().len(), 6);
+        // Every rank's datapath phase saw (P-1) * N inbound bytes.
+        for t in &out.timings {
+            assert!(t.t_complete.is_some());
+            assert!(t.t_done.is_some());
+        }
+    }
+
+    #[test]
+    fn allgather_bandwidth_optimal_traffic() {
+        // Each root's 64 KiB buffer crosses each link at most once:
+        // max per-link data bytes == P * N only on host downlinks
+        // (each host receives all blocks), and no link carries more.
+        let n: usize = 64 << 10;
+        let p = 6usize;
+        let out = run_collective(
+            star(p),
+            FabricConfig::ideal(),
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            n,
+        );
+        assert!(out.stats.all_done());
+        let per_link_max = out.traffic.max_link_data_bytes();
+        assert!(
+            per_link_max <= (p as u64) * n as u64,
+            "a link carried {per_link_max} > P*N"
+        );
+        // Total payload movement: each block crosses its root's uplink
+        // once and each of the (P-1) other hosts' downlinks once.
+        let expect = (p as u64) * (n as u64) // uplinks
+            + (p as u64) * (p as u64 - 1) * n as u64; // downlinks
+        assert_eq!(out.traffic.total_data_bytes(), expect);
+    }
+
+    #[test]
+    fn allgather_with_chains_and_subgroups() {
+        let out = run_collective(
+            star(8),
+            FabricConfig::ucc_default(),
+            ProtocolConfig::parallel(2, 4),
+            CollectiveKind::Allgather,
+            64 << 10,
+        );
+        assert!(out.stats.all_done());
+        assert_eq!(out.total_fetched(), 0);
+    }
+
+    #[test]
+    fn recovery_after_forced_drops() {
+        let mut cfg = FabricConfig::ucc_default();
+        // Drop chunk psn 3 of root 0 at rank 2, and psn 5 of root 1 at rank 3.
+        cfg.drops.forced.insert((0, 3, 2));
+        let out = run_collective(
+            star(4),
+            cfg,
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            32 << 10,
+        );
+        assert!(out.stats.all_done(), "recovery failed: {:?}", out.stats);
+        assert!(out.total_fetched() >= 1, "dropped chunk was not fetched");
+        assert_eq!(out.timings[2].recovery_rounds, 1);
+    }
+
+    #[test]
+    fn recovery_under_random_drops() {
+        let mut cfg = FabricConfig::ucc_default();
+        cfg.drops = DropModel::uniform(0.01); // brutal 1% per-hop loss
+        cfg.seed = 99;
+        let out = run_collective(
+            star(5),
+            cfg,
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            64 << 10,
+        );
+        assert!(out.stats.all_done(), "recovery failed: {:?}", out.stats);
+        assert!(out.fabric_drops > 0, "seed produced no drops");
+        assert!(out.total_fetched() > 0);
+    }
+
+    #[test]
+    fn iterations_are_independent() {
+        let outs = run_iterations(
+            || star(4),
+            FabricConfig::ucc_default(),
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            16 << 10,
+            3,
+        );
+        assert_eq!(outs.len(), 3);
+        for o in &outs {
+            assert!(o.stats.all_done());
+        }
+        // Lossless, deterministic: identical completion times.
+        assert_eq!(outs[0].completion_ns(), outs[1].completion_ns());
+    }
+
+    #[test]
+    fn phase_breakdown_small_vs_large_messages() {
+        // Fig. 10's shape: sync dominates tiny messages, the datapath
+        // dominates large ones.
+        let small = run_collective(
+            star(8),
+            FabricConfig::ucc_default(),
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            4 << 10,
+        );
+        let large = run_collective(
+            star(8),
+            FabricConfig::ucc_default(),
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            2 << 20,
+        );
+        let (s_sync, s_dp, _) = small.mean_breakdown_ns();
+        let (l_sync, l_dp, _) = large.mean_breakdown_ns();
+        let small_dp_frac = s_dp / (s_sync + s_dp);
+        let large_dp_frac = l_dp / (l_sync + l_dp);
+        assert!(
+            large_dp_frac > small_dp_frac,
+            "datapath fraction should grow with message size: {small_dp_frac} vs {large_dp_frac}"
+        );
+        assert!(large_dp_frac > 0.95, "8-rank 2 MiB should be datapath-bound");
+    }
+}

@@ -1,0 +1,76 @@
+//! Slow-path control messages exchanged over the reliable (RC) ring.
+//!
+//! These correspond to the violet control-path arrows of Fig. 9: the RNR
+//! synchronization barrier, the chain activation signal, the final
+//! handshake packet, and the fetch-request/ACK pair of the reliability
+//! layer. All of them are small (tens of bytes on the wire) and reliable;
+//! none of them sit on the multicast fast path.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Approximate wire payload sizes for control messages, used for traffic
+/// accounting (the real backend sends tiny RC messages; 16 B of payload
+/// plus the 64 B header model is generous).
+pub const CTRL_MSG_BYTES: usize = 16;
+
+/// A control message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlMsg {
+    /// One round of the recursive-doubling RNR-synchronization barrier.
+    Barrier {
+        /// Dissemination round index.
+        round: u8,
+    },
+    /// Chain activation: the sender finished multicasting; the receiver
+    /// (its chain successor) may start.
+    Activate,
+    /// Final-handshake packet: the sender has its receive buffer complete.
+    /// Sent to the *left* ring neighbor; receiving one from the *right*
+    /// neighbor (plus being complete locally) releases the buffer.
+    FinalPkt,
+    /// Reliability: request for the listed global-PSN ranges, sent to the
+    /// left ring neighbor after the cutoff timer found holes.
+    FetchReq {
+        /// Missing global-PSN ranges.
+        ranges: Vec<Range<u32>>,
+    },
+    /// Reliability: the sender *has* the listed ranges — the requester may
+    /// RDMA-Read them from its receive buffer. Ranges the neighbor was
+    /// itself missing arrive in later supplementary ACKs once its own
+    /// recovery completes (the recursive scheme of Section III-C).
+    FetchAck {
+        /// Servable global-PSN ranges.
+        ranges: Vec<Range<u32>>,
+    },
+}
+
+impl ControlMsg {
+    /// Payload bytes to account on the wire for this message.
+    pub fn wire_payload(&self) -> usize {
+        match self {
+            ControlMsg::Barrier { .. }
+            | ControlMsg::Activate
+            | ControlMsg::FinalPkt => CTRL_MSG_BYTES,
+            // 8 bytes per range descriptor, 16 B fixed.
+            ControlMsg::FetchReq { ranges } | ControlMsg::FetchAck { ranges } => {
+                CTRL_MSG_BYTES + 8 * ranges.len()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(ControlMsg::Activate.wire_payload(), 16);
+        assert_eq!(ControlMsg::Barrier { round: 3 }.wire_payload(), 16);
+        let req = ControlMsg::FetchReq {
+            ranges: vec![0..4, 9..12],
+        };
+        assert_eq!(req.wire_payload(), 32);
+    }
+}

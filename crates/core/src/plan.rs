@@ -1,0 +1,360 @@
+//! Collective plans: who broadcasts what, where chunks land, and which
+//! multicast subgroup carries them.
+//!
+//! Broadcast and Allgather share one plan structure — the paper notes the
+//! two collectives differ by "around 20 lines of code related to the
+//! Allgather multicasting scheduler". A plan fixes:
+//!
+//! * the ordered list of **roots** (one for Broadcast, all ranks for
+//!   Allgather) — root *index* determines where a root's block sits in
+//!   every receive buffer;
+//! * the **global PSN space**: chunk `c` of root index `i` has global PSN
+//!   `i * chunks_per_root + c`, which is the value stamped into the
+//!   immediate field and the bit index in the receive bitmap (Fig. 7's
+//!   "Allgather receive buffer" addressing);
+//! * the **subgroup split** (packet parallelism, Section IV-C):
+//!   contiguous blocks of each root's send buffer map to distinct
+//!   multicast groups so receive workers can own disjoint PSN ranges;
+//! * the **chain schedule** via [`crate::sequencer::Sequencer`].
+
+use crate::sequencer::Sequencer;
+use mcag_verbs::{CollectiveId, ImmLayout, Mtu, Rank};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Which collective a plan describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CollectiveKind {
+    /// One root multicasts its buffer to every other rank.
+    Broadcast {
+        /// The broadcasting rank.
+        root: Rank,
+    },
+    /// Every rank broadcasts; everyone ends with the concatenation of all
+    /// send buffers in rank order.
+    Allgather,
+}
+
+/// A fully-resolved collective schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectivePlan {
+    kind: CollectiveKind,
+    p: u32,
+    send_len: usize,
+    mtu: Mtu,
+    imm: ImmLayout,
+    coll_id: CollectiveId,
+    subgroups: u32,
+    seq: Sequencer,
+    roots: Vec<Rank>,
+    chunks_per_root: u32,
+    chunks_per_subgroup: u32,
+}
+
+impl CollectivePlan {
+    /// Build a plan.
+    ///
+    /// * `p` — number of ranks;
+    /// * `send_len` — bytes each root contributes (`N`);
+    /// * `subgroups` — multicast groups per root buffer (packet
+    ///   parallelism);
+    /// * `chains` — parallel broadcast chains (`M`; ignored for
+    ///   Broadcast, which trivially has one root).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        kind: CollectiveKind,
+        p: u32,
+        send_len: usize,
+        mtu: Mtu,
+        imm: ImmLayout,
+        coll_id: CollectiveId,
+        subgroups: u32,
+        chains: u32,
+    ) -> CollectivePlan {
+        assert!(p >= 2, "collectives need at least two ranks");
+        assert!(subgroups >= 1);
+        let roots: Vec<Rank> = match kind {
+            CollectiveKind::Broadcast { root } => {
+                assert!(root.0 < p, "root {root} out of range");
+                vec![root]
+            }
+            CollectiveKind::Allgather => (0..p).map(Rank).collect(),
+        };
+        let chunks_per_root = mtu.chunks_for(send_len) as u32;
+        let subgroups = subgroups.min(chunks_per_root);
+        let total = chunks_per_root as u64 * roots.len() as u64;
+        assert!(
+            total <= imm.addressable_chunks(),
+            "plan needs {total} global PSNs but the immediate layout \
+             addresses {} (Fig. 7 constraint)",
+            imm.addressable_chunks()
+        );
+        let seq = Sequencer::new(roots.len() as u32, chains.max(1));
+        CollectivePlan {
+            kind,
+            p,
+            send_len,
+            mtu,
+            imm,
+            coll_id,
+            subgroups,
+            seq,
+            roots,
+            chunks_per_root,
+            chunks_per_subgroup: chunks_per_root.div_ceil(subgroups),
+        }
+    }
+
+    /// Collective kind.
+    pub fn kind(&self) -> CollectiveKind {
+        self.kind
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> u32 {
+        self.p
+    }
+
+    /// Bytes contributed per root.
+    pub fn send_len(&self) -> usize {
+        self.send_len
+    }
+
+    /// Chunk size.
+    pub fn mtu(&self) -> Mtu {
+        self.mtu
+    }
+
+    /// Immediate-field layout.
+    pub fn imm_layout(&self) -> ImmLayout {
+        self.imm
+    }
+
+    /// Collective id stamped into immediates.
+    pub fn coll_id(&self) -> CollectiveId {
+        self.coll_id
+    }
+
+    /// The chain schedule.
+    pub fn sequencer(&self) -> Sequencer {
+        self.seq
+    }
+
+    /// Multicast subgroups per root buffer.
+    pub fn num_subgroups(&self) -> u32 {
+        self.subgroups
+    }
+
+    /// Broadcasting roots in block order.
+    pub fn roots(&self) -> &[Rank] {
+        &self.roots
+    }
+
+    /// Root index of `rank` (its block position), if it broadcasts.
+    pub fn root_index(&self, rank: Rank) -> Option<u32> {
+        match self.kind {
+            CollectiveKind::Broadcast { root } => (rank == root).then_some(0),
+            CollectiveKind::Allgather => (rank.0 < self.p).then_some(rank.0),
+        }
+    }
+
+    /// Chunks per root buffer.
+    pub fn chunks_per_root(&self) -> u32 {
+        self.chunks_per_root
+    }
+
+    /// Total chunks in the receive buffer (the bitmap length).
+    pub fn total_chunks(&self) -> u32 {
+        self.chunks_per_root * self.roots.len() as u32
+    }
+
+    /// Receive buffer size in bytes (`N` for Broadcast, `N·P` for
+    /// Allgather).
+    pub fn recv_len(&self) -> usize {
+        self.send_len * self.roots.len()
+    }
+
+    /// Global PSN of local chunk `c` of root index `i`.
+    #[inline]
+    pub fn global_psn(&self, root_idx: u32, local: u32) -> u32 {
+        debug_assert!(local < self.chunks_per_root);
+        root_idx * self.chunks_per_root + local
+    }
+
+    /// Inverse of [`CollectivePlan::global_psn`]: `(root index, local)`.
+    #[inline]
+    pub fn split_psn(&self, psn: u32) -> (u32, u32) {
+        debug_assert!(psn < self.total_chunks());
+        (psn / self.chunks_per_root, psn % self.chunks_per_root)
+    }
+
+    /// Subgroup carrying local chunk `c` (contiguous split of the send
+    /// buffer across subgroup QPs).
+    #[inline]
+    pub fn subgroup_of(&self, local: u32) -> u32 {
+        (local / self.chunks_per_subgroup).min(self.subgroups - 1)
+    }
+
+    /// Byte range of global chunk `psn` inside the receive buffer.
+    pub fn recv_range(&self, psn: u32) -> Range<usize> {
+        let (root_idx, local) = self.split_psn(psn);
+        let base = root_idx as usize * self.send_len;
+        let r = self.mtu.chunk_range(local, self.send_len);
+        base + r.start..base + r.end
+    }
+
+    /// Byte length of global chunk `psn` (last chunk of a block may be
+    /// short).
+    pub fn chunk_len(&self, psn: u32) -> usize {
+        let (_, local) = self.split_psn(psn);
+        self.mtu.chunk_range(local, self.send_len).len()
+    }
+
+    /// Global PSN range a leaf expects from root index `i`.
+    pub fn root_psn_range(&self, root_idx: u32) -> Range<u32> {
+        let s = root_idx * self.chunks_per_root;
+        s..s + self.chunks_per_root
+    }
+
+    /// Chunks rank `r` must receive from the network (its own block, if it
+    /// has one, is already local).
+    pub fn expected_chunks(&self, rank: Rank) -> u32 {
+        match self.root_index(rank) {
+            Some(_) => self.total_chunks() - self.chunks_per_root,
+            None => self.total_chunks(),
+        }
+    }
+
+    /// Immediate value for global chunk `psn`.
+    #[inline]
+    pub fn imm_for(&self, psn: u32) -> mcag_verbs::ImmData {
+        self.imm.pack(self.coll_id, psn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ag_plan(p: u32, len: usize, subgroups: u32, chains: u32) -> CollectivePlan {
+        CollectivePlan::new(
+            CollectiveKind::Allgather,
+            p,
+            len,
+            Mtu::IB_4K,
+            ImmLayout::DEFAULT,
+            CollectiveId(1),
+            subgroups,
+            chains,
+        )
+    }
+
+    #[test]
+    fn paper_example_16_ranks_4_subgroups_8mib() {
+        // Section IV-C: 16 processes, 4 subgroups, 8 MiB send buffer:
+        // send path serves contiguous 2 MiB blocks per subgroup QP; each
+        // receive QP handles 30 MiB.
+        let plan = ag_plan(16, 8 << 20, 4, 1);
+        assert_eq!(plan.chunks_per_root(), 2048);
+        assert_eq!(plan.total_chunks(), 2048 * 16);
+        assert_eq!(plan.recv_len(), 128 << 20);
+        // Per subgroup: 512 local chunks = 2 MiB.
+        let per_sub = (0..2048).filter(|&c| plan.subgroup_of(c) == 0).count();
+        assert_eq!(per_sub * 4096, 2 << 20);
+        // Receive side per subgroup across 15 remote roots: 30 MiB.
+        let recv_per_sub = per_sub * 4096 * 15;
+        assert_eq!(recv_per_sub, 30 << 20);
+    }
+
+    #[test]
+    fn broadcast_plan_has_single_block() {
+        let plan = CollectivePlan::new(
+            CollectiveKind::Broadcast { root: Rank(3) },
+            8,
+            64 << 10,
+            Mtu::IB_4K,
+            ImmLayout::DEFAULT,
+            CollectiveId(0),
+            2,
+            4, // chains irrelevant with one root
+        );
+        assert_eq!(plan.roots(), &[Rank(3)]);
+        assert_eq!(plan.root_index(Rank(3)), Some(0));
+        assert_eq!(plan.root_index(Rank(0)), None);
+        assert_eq!(plan.total_chunks(), 16);
+        assert_eq!(plan.recv_len(), 64 << 10);
+        assert_eq!(plan.expected_chunks(Rank(3)), 0);
+        assert_eq!(plan.expected_chunks(Rank(5)), 16);
+        assert_eq!(plan.sequencer().num_steps(), 1);
+    }
+
+    #[test]
+    fn recv_ranges_tile_receive_buffer() {
+        let plan = ag_plan(4, 10_000, 2, 2);
+        let mut covered = 0usize;
+        for psn in 0..plan.total_chunks() {
+            let r = plan.recv_range(psn);
+            assert_eq!(r.start, covered);
+            assert_eq!(r.len(), plan.chunk_len(psn));
+            covered = r.end;
+        }
+        assert_eq!(covered, plan.recv_len());
+    }
+
+    #[test]
+    fn subgroup_split_is_contiguous_and_complete() {
+        let plan = ag_plan(4, 100 * 4096, 3, 1);
+        let mut last_sub = 0;
+        for c in 0..plan.chunks_per_root() {
+            let s = plan.subgroup_of(c);
+            assert!(s >= last_sub, "subgroups must be non-decreasing");
+            assert!(s < plan.num_subgroups());
+            last_sub = s;
+        }
+        assert_eq!(last_sub, plan.num_subgroups() - 1);
+    }
+
+    #[test]
+    fn subgroups_clamped_to_chunk_count() {
+        // 2 chunks cannot be spread over 8 subgroups.
+        let plan = ag_plan(2, 8192, 8, 1);
+        assert_eq!(plan.num_subgroups(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Fig. 7 constraint")]
+    fn psn_budget_enforced() {
+        CollectivePlan::new(
+            CollectiveKind::Allgather,
+            4,
+            1 << 20,
+            Mtu::IB_4K,
+            ImmLayout::new(8), // 256 PSNs only
+            CollectiveId(0),
+            1,
+            1,
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn psn_roundtrip(p in 2u32..64, len in 1usize..200_000, psn_seed: u32) {
+            let plan = ag_plan(p, len, 4, 2);
+            let psn = psn_seed % plan.total_chunks();
+            let (root, local) = plan.split_psn(psn);
+            prop_assert_eq!(plan.global_psn(root, local), psn);
+            prop_assert!(root < p);
+            prop_assert!(local < plan.chunks_per_root());
+        }
+
+        #[test]
+        fn expected_plus_local_is_total(p in 2u32..64, len in 1usize..100_000) {
+            let plan = ag_plan(p, len, 2, 1);
+            for r in 0..p {
+                let e = plan.expected_chunks(Rank(r));
+                prop_assert_eq!(e + plan.chunks_per_root(), plan.total_chunks());
+            }
+        }
+    }
+}

@@ -1,0 +1,505 @@
+//! The barrel-processor datapath simulation.
+//!
+//! Threads execute their kernel trace op-by-op against shared resources:
+//!
+//! * the **core issue port** — one instruction per cycle across all
+//!   threads of a core (the fundamental barrel limit);
+//! * the **core memory unit** — LLC/DRAM/MMIO accesses occupy it for an
+//!   access-dependent time, so concurrent threads queue behind each
+//!   other's misses (this is what bends the thread-scaling curves of
+//!   Figs. 13/14 below linear);
+//! * the **NIC inbound pipeline** — chunks are DMA-placed and their CQEs
+//!   written serially (per-op + per-byte cost), which is what ultimately
+//!   caps the 64 B micro-chunk rate in Fig. 16;
+//! * the **NIC loopback pipeline** — UD staging→user copies posted by
+//!   the threads.
+//!
+//! Threads are packed onto cores compactly ("first occupy 16 hardware
+//! threads of core 1, then core 2", Section VI-C) and chunk `i` is
+//! processed by thread `i mod T`, mirroring the paper's round-robin
+//! traffic distribution across connections.
+
+use crate::kernel::{Kernel, OpClass};
+use crate::spec::DpaSpec;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How chunks arrive at the receive queues.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Receive queues are always backlogged — measures the sustainable
+    /// processing rate (Table I, Fig. 16).
+    Saturated,
+    /// Chunks arrive back-to-back at the line rate of a `gbps` link,
+    /// including `header_bytes` of per-packet wire overhead — the
+    /// throughput can then cap at the link (Figs. 13–15).
+    LinkRate {
+        /// Link speed in Gbit/s.
+        gbps: f64,
+        /// Per-chunk wire header overhead in bytes.
+        header_bytes: usize,
+    },
+}
+
+/// Measured datapath metrics (the Table I columns plus throughput).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatapathMetrics {
+    /// Chunks processed.
+    pub chunks: u64,
+    /// Payload bytes per chunk.
+    pub chunk_bytes: usize,
+    /// Worker threads used.
+    pub threads: u32,
+    /// Wall-clock of the run in nanoseconds.
+    pub wall_ns: f64,
+    /// Payload throughput in Gbit/s.
+    pub goodput_gbps: f64,
+    /// Payload throughput in GiB/s (the Table I unit).
+    pub gib_per_s: f64,
+    /// Sustained chunk processing rate (chunks/s) — Fig. 16's metric.
+    pub chunks_per_sec: f64,
+    /// Instructions retired per CQE.
+    pub instr_per_cqe: f64,
+    /// Mean busy cycles per CQE (trace start → trace end, including
+    /// resource queueing, excluding idle waits).
+    pub cycles_per_cqe: f64,
+    /// Instructions per cycle (per-thread, while busy).
+    pub ipc: f64,
+}
+
+/// Run `chunks` chunks of `chunk_bytes` through `threads` workers.
+///
+/// # Panics
+/// If `threads` exceeds the spec's hardware contexts.
+pub fn run_datapath(
+    spec: &DpaSpec,
+    kernel: &Kernel,
+    threads: u32,
+    chunk_bytes: usize,
+    chunks: u64,
+    arrival: ArrivalModel,
+) -> DatapathMetrics {
+    assert!(threads >= 1, "need at least one thread");
+    assert!(
+        threads <= spec.total_threads(),
+        "{threads} threads exceed {} hardware contexts",
+        spec.total_threads()
+    );
+    assert!(chunks >= 1);
+    let cyc_ns = 1.0 / spec.core.freq_ghz; // ns per cycle
+    let core = &spec.core;
+
+    // --- NIC inbound pipeline: compute per-chunk CQE-ready times. ---
+    let interval_ns = match arrival {
+        ArrivalModel::Saturated => 0.0,
+        ArrivalModel::LinkRate { gbps, header_bytes } => {
+            (chunk_bytes + header_bytes) as f64 * 8.0 / gbps
+        }
+    };
+    let inbound_cost = spec.nic.inbound_op_ns + chunk_bytes as f64 * spec.nic.inbound_byte_ns;
+    let mut ready = Vec::with_capacity(chunks as usize);
+    let mut inbound_free = 0.0f64;
+    for i in 0..chunks {
+        let arr = i as f64 * interval_ns;
+        let done = arr.max(inbound_free) + inbound_cost;
+        inbound_free = done;
+        ready.push(done);
+    }
+
+    // --- Shared compute resources. ---
+    let cores_used = threads.div_ceil(core.threads) as usize;
+    let mut issue_free = vec![0.0f64; cores_used];
+    let mut mem_free = vec![0.0f64; cores_used];
+    let loopback_cost =
+        spec.nic.loopback_op_ns + chunk_bytes as f64 * spec.nic.loopback_byte_ns;
+    let mut loopback_free = 0.0f64;
+
+    struct Thread {
+        core: usize,
+        op_idx: usize,
+        chunk_seq: u64, // which of its own chunks it is processing
+        trace_start: f64,
+        busy_ns: f64,
+        done_chunks: u64,
+        finish: f64,
+    }
+    let mut ths: Vec<Thread> = (0..threads)
+        .map(|t| Thread {
+            core: (t / core.threads) as usize,
+            op_idx: 0,
+            chunk_seq: 0,
+            trace_start: 0.0,
+            busy_ns: 0.0,
+            done_chunks: 0,
+            finish: 0.0,
+        })
+        .collect();
+
+    // Chunks for thread t are indices t, t+T, t+2T, …
+    let chunks_of = |t: u64| -> u64 { (chunks - t - 1) / threads as u64 + 1 };
+
+    // Event heap: (time, thread) = thread may issue its next op then.
+    // f64 ordered via total_cmp wrapper.
+    #[derive(PartialEq)]
+    struct Ev(f64, u32);
+    impl Eq for Ev {}
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Ev {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0
+                .total_cmp(&other.0)
+                .then_with(|| self.1.cmp(&other.1))
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    for t in 0..threads {
+        if (t as u64) < chunks {
+            heap.push(Reverse(Ev(ready[t as usize], t)));
+        }
+    }
+
+    let trace = &kernel.trace;
+    let stall_ns = kernel.extra_stall_cycles as f64 * cyc_ns;
+    let mut total_busy = 0.0f64;
+
+    while let Some(Reverse(Ev(t_now, tid))) = heap.pop() {
+        let th = &mut ths[tid as usize];
+        if th.op_idx == 0 {
+            th.trace_start = t_now;
+        }
+        let op = trace[th.op_idx];
+        // Issue port: one instruction per cycle per core.
+        let issue = t_now.max(issue_free[th.core]);
+        issue_free[th.core] = issue + cyc_ns;
+        let done = match op.0 {
+            OpClass::Alu => issue + core.alu_lat as f64 * cyc_ns,
+            OpClass::LlcLoad => {
+                let s = issue.max(mem_free[th.core]);
+                mem_free[th.core] = s + core.llc_occ as f64 * cyc_ns;
+                s + core.llc_lat as f64 * cyc_ns
+            }
+            OpClass::Store => {
+                let s = issue.max(mem_free[th.core]);
+                mem_free[th.core] = s + core.store_occ as f64 * cyc_ns;
+                s + core.store_lat as f64 * cyc_ns
+            }
+            OpClass::DramLoad => {
+                let s = issue.max(mem_free[th.core]);
+                mem_free[th.core] = s + core.dram_occ as f64 * cyc_ns;
+                s + core.dram_lat as f64 * cyc_ns
+            }
+            OpClass::Mmio => {
+                let s = issue.max(mem_free[th.core]);
+                mem_free[th.core] = s + core.mmio_occ as f64 * cyc_ns;
+                s + core.mmio_lat as f64 * cyc_ns
+            }
+            OpClass::Memcpy => {
+                let s = issue.max(mem_free[th.core]);
+                mem_free[th.core] = s + core.memcpy_occ as f64 * cyc_ns;
+                s + core.memcpy_lat as f64 * cyc_ns
+            }
+        };
+        th.op_idx += 1;
+        if th.op_idx < trace.len() {
+            heap.push(Reverse(Ev(done, tid)));
+            continue;
+        }
+        // CQE fully processed.
+        th.op_idx = 0;
+        th.busy_ns += done - th.trace_start;
+        total_busy += done - th.trace_start;
+        th.done_chunks += 1;
+        if kernel.posts_loopback {
+            loopback_free = loopback_free.max(done) + loopback_cost;
+        }
+        let next_seq = th.chunk_seq + 1;
+        if next_seq < chunks_of(tid as u64) {
+            th.chunk_seq = next_seq;
+            let global_idx = (tid as u64 + next_seq * threads as u64) as usize;
+            let t_next = (done + stall_ns).max(ready[global_idx]);
+            heap.push(Reverse(Ev(t_next, tid)));
+        } else {
+            th.finish = done + stall_ns;
+        }
+    }
+
+    let mut wall = ths.iter().map(|t| t.finish).fold(0.0f64, f64::max);
+    if kernel.posts_loopback {
+        // All staged data must land in the user buffer.
+        wall = wall.max(loopback_free);
+    }
+    let total_bytes = chunks as f64 * chunk_bytes as f64;
+    let busy_cycles = total_busy / cyc_ns / chunks as f64;
+    DatapathMetrics {
+        chunks,
+        chunk_bytes,
+        threads,
+        wall_ns: wall,
+        goodput_gbps: total_bytes * 8.0 / wall,
+        gib_per_s: total_bytes / (wall * 1e-9) / (1u64 << 30) as f64,
+        chunks_per_sec: chunks as f64 / (wall * 1e-9),
+        instr_per_cqe: trace.len() as f64,
+        cycles_per_cqe: busy_cycles,
+        ipc: trace.len() as f64 / busy_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelKind;
+
+    const CHUNK_4K: usize = 4096;
+
+    fn bf3_run(kind: KernelKind, threads: u32, arrival: ArrivalModel) -> DatapathMetrics {
+        run_datapath(
+            &DpaSpec::bf3(),
+            &Kernel::new(kind),
+            threads,
+            CHUNK_4K,
+            40_000,
+            arrival,
+        )
+    }
+
+    #[test]
+    fn table1_ud_single_thread() {
+        let m = bf3_run(KernelKind::DpaUd, 1, ArrivalModel::Saturated);
+        // Table I: 5.2 GiB/s, 113 instr, 1084 cycles, IPC 0.10.
+        assert!((m.gib_per_s - 5.2).abs() < 0.6, "GiB/s = {}", m.gib_per_s);
+        assert_eq!(m.instr_per_cqe, 113.0);
+        assert!(
+            (m.cycles_per_cqe - 1084.0).abs() < 110.0,
+            "cycles/CQE = {}",
+            m.cycles_per_cqe
+        );
+        assert!((m.ipc - 0.10).abs() < 0.02, "IPC = {}", m.ipc);
+    }
+
+    #[test]
+    fn table1_uc_single_thread() {
+        let m = bf3_run(KernelKind::DpaUc, 1, ArrivalModel::Saturated);
+        // Table I: 11.9 GiB/s, 66 instr, 598 cycles, IPC 0.11.
+        assert!((m.gib_per_s - 11.9).abs() < 1.2, "GiB/s = {}", m.gib_per_s);
+        assert_eq!(m.instr_per_cqe, 66.0);
+        assert!(
+            (m.cycles_per_cqe - 598.0).abs() < 60.0,
+            "cycles/CQE = {}",
+            m.cycles_per_cqe
+        );
+        assert!((m.ipc - 0.11).abs() < 0.02, "IPC = {}", m.ipc);
+    }
+
+    #[test]
+    fn fig14_single_thread_fractions() {
+        // "With 1/256 of DPA capacity, the datapaths achieve 1/2 (UC) and
+        // 1/5 (UD) of peak theoretical throughput (200 Gbit/s)."
+        let link = ArrivalModel::LinkRate {
+            gbps: 200.0,
+            header_bytes: 64,
+        };
+        let ud = bf3_run(KernelKind::DpaUd, 1, link);
+        let uc = bf3_run(KernelKind::DpaUc, 1, link);
+        let ud_frac = ud.goodput_gbps / 200.0;
+        let uc_frac = uc.goodput_gbps / 200.0;
+        assert!((ud_frac - 0.2).abs() < 0.05, "UD fraction {ud_frac}");
+        assert!((uc_frac - 0.5).abs() < 0.08, "UC fraction {uc_frac}");
+    }
+
+    #[test]
+    fn fig13_uc_reaches_line_rate_with_few_threads() {
+        let link = ArrivalModel::LinkRate {
+            gbps: 200.0,
+            header_bytes: 64,
+        };
+        let m4 = bf3_run(KernelKind::DpaUc, 4, link);
+        // Payload ceiling on a 200G link with 64B headers: ~196.9 Gbit/s.
+        let ceiling = 200.0 * 4096.0 / 4160.0;
+        assert!(
+            m4.goodput_gbps > 0.95 * ceiling,
+            "UC@4thr = {} Gbit/s",
+            m4.goodput_gbps
+        );
+    }
+
+    #[test]
+    fn fig13_ud_needs_more_threads_than_uc() {
+        let link = ArrivalModel::LinkRate {
+            gbps: 200.0,
+            header_bytes: 64,
+        };
+        let ceiling = 200.0 * 4096.0 / 4160.0;
+        let mut ud_at = None;
+        let mut uc_at = None;
+        for t in 1..=16u32 {
+            if ud_at.is_none()
+                && bf3_run(KernelKind::DpaUd, t, link).goodput_gbps > 0.95 * ceiling
+            {
+                ud_at = Some(t);
+            }
+            if uc_at.is_none()
+                && bf3_run(KernelKind::DpaUc, t, link).goodput_gbps > 0.95 * ceiling
+            {
+                uc_at = Some(t);
+            }
+        }
+        let (ud_at, uc_at) = (ud_at.expect("UD never saturated"), uc_at.unwrap());
+        assert!(
+            uc_at < ud_at,
+            "UC should saturate earlier (UC {uc_at}, UD {ud_at})"
+        );
+        assert!(uc_at <= 4, "paper: UC with 4 threads, got {uc_at}");
+        assert!(
+            (5..=16).contains(&ud_at),
+            "paper: UD with 8-16 threads, got {ud_at}"
+        );
+    }
+
+    #[test]
+    fn fig13_scaling_is_monotonic() {
+        let link = ArrivalModel::LinkRate {
+            gbps: 200.0,
+            header_bytes: 64,
+        };
+        let mut last = 0.0;
+        for t in [1u32, 2, 4, 8, 16] {
+            let m = bf3_run(KernelKind::DpaUd, t, link);
+            assert!(
+                m.goodput_gbps >= last * 0.99,
+                "throughput regressed at {t} threads"
+            );
+            last = m.goodput_gbps;
+        }
+    }
+
+    #[test]
+    fn fig15_large_uc_chunks_need_fewer_threads() {
+        // "With the larger chunk size, DPA can sustain a line rate with
+        // fewer threads."
+        let link = ArrivalModel::LinkRate {
+            gbps: 200.0,
+            header_bytes: 64,
+        };
+        let spec = DpaSpec::bf3();
+        let k = Kernel::new(KernelKind::DpaUc);
+        let m64k = run_datapath(&spec, &k, 1, 64 << 10, 10_000, link);
+        let ceiling = 200.0 * 65536.0 / 65600.0;
+        assert!(
+            m64k.goodput_gbps > 0.95 * ceiling,
+            "UC 64KiB single thread = {} Gbit/s",
+            m64k.goodput_gbps
+        );
+    }
+
+    #[test]
+    fn fig16_tbit_chunk_rate() {
+        // 1.6 Tbit/s at 4 KiB MTU = ~48.8 M chunks/s. 128 threads on 64 B
+        // chunks must sustain at least that rate for both transports.
+        let need = 1.6e12 / 8.0 / 4096.0;
+        for kind in [KernelKind::DpaUd, KernelKind::DpaUc] {
+            let m = run_datapath(
+                &DpaSpec::bf3(),
+                &Kernel::new(kind),
+                128,
+                64,
+                400_000,
+                ArrivalModel::Saturated,
+            );
+            assert!(
+                m.chunks_per_sec >= need,
+                "{kind:?} 128 threads: {:.1}M/s < {:.1}M/s",
+                m.chunks_per_sec / 1e6,
+                need / 1e6
+            );
+        }
+    }
+
+    #[test]
+    fn fig16_rate_grows_with_threads() {
+        let k = Kernel::new(KernelKind::DpaUd);
+        let spec = DpaSpec::bf3();
+        let mut last = 0.0;
+        for t in [1u32, 8, 32, 128] {
+            let m = run_datapath(&spec, &k, t, 64, 200_000, ArrivalModel::Saturated);
+            assert!(m.chunks_per_sec > last);
+            last = m.chunks_per_sec;
+        }
+    }
+
+    #[test]
+    fn fig5_cpu_baselines() {
+        // One x86 core sustains only ~1/2 to 2/3 of 200 Gbit/s even
+        // without software reliability; the UCX UD stack (reliability +
+        // CPU memcpy) is slower still.
+        let link = ArrivalModel::LinkRate {
+            gbps: 200.0,
+            header_bytes: 64,
+        };
+        let cpu = DpaSpec::host_cpu();
+        let rc = run_datapath(
+            &cpu,
+            &Kernel::new(KernelKind::CpuRcCustom),
+            1,
+            CHUNK_4K,
+            40_000,
+            link,
+        );
+        let ucx = run_datapath(
+            &cpu,
+            &Kernel::new(KernelKind::CpuUdUcx),
+            1,
+            CHUNK_4K,
+            40_000,
+            link,
+        );
+        let rc_frac = rc.goodput_gbps / 200.0;
+        assert!(
+            (0.45..=0.7).contains(&rc_frac),
+            "RC custom fraction = {rc_frac}"
+        );
+        assert!(ucx.goodput_gbps < rc.goodput_gbps);
+        assert!(ucx.goodput_gbps / 200.0 > 0.2, "UCX UD unrealistically slow");
+    }
+
+    #[test]
+    fn dpa_single_core_beats_cpu_core() {
+        // Fig. 5's headline: the multithreaded single DPA core reaches
+        // link speed; the CPU core does not. Also Section VI-C(d): one
+        // DPA core outperforms the CPU core by ~25%.
+        let link = ArrivalModel::LinkRate {
+            gbps: 200.0,
+            header_bytes: 64,
+        };
+        let dpa16 = bf3_run(KernelKind::DpaUd, 16, link);
+        let cpu = run_datapath(
+            &DpaSpec::host_cpu(),
+            &Kernel::new(KernelKind::CpuRcCustom),
+            1,
+            CHUNK_4K,
+            40_000,
+            link,
+        );
+        assert!(dpa16.goodput_gbps > cpu.goodput_gbps * 1.2);
+        let ceiling = 200.0 * 4096.0 / 4160.0;
+        assert!(dpa16.goodput_gbps > 0.95 * ceiling);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = bf3_run(KernelKind::DpaUd, 7, ArrivalModel::Saturated);
+        let b = bf3_run(KernelKind::DpaUd, 7, ArrivalModel::Saturated);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn thread_budget_enforced() {
+        bf3_run(KernelKind::DpaUd, 257, ArrivalModel::Saturated);
+    }
+}

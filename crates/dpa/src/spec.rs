@@ -1,0 +1,179 @@
+//! Hardware specifications: the BlueField-3 DPA complex, the NIC DMA
+//! engines, and the host-CPU baseline core.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/occupancy model of one processing core.
+///
+/// *Latency* is how long the issuing thread stalls; *occupancy* is how
+/// long the (non-pipelined) memory unit stays busy, which is what makes
+/// concurrent threads on one core contend — the mechanism behind the
+/// sub-linear thread scaling in Figs. 13/14.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreSpec {
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Hardware threads per core.
+    pub threads: u32,
+    /// ALU op latency (cycles).
+    pub alu_lat: u64,
+    /// LLC load latency / memory-unit occupancy (cycles).
+    pub llc_lat: u64,
+    /// LLC-bound memory-unit occupancy per access (cycles).
+    pub llc_occ: u64,
+    /// DRAM access latency (cycles).
+    pub dram_lat: u64,
+    /// DRAM memory-unit occupancy per access (cycles).
+    pub dram_occ: u64,
+    /// Store latency (posted; cheap for the thread).
+    pub store_lat: u64,
+    /// Store memory-unit occupancy.
+    pub store_occ: u64,
+    /// MMIO doorbell latency (uncached write + ordering).
+    pub mmio_lat: u64,
+    /// MMIO memory-unit occupancy.
+    pub mmio_occ: u64,
+    /// CPU-side bulk copy of one chunk (UCX UD staging→user memcpy);
+    /// only host kernels use this class.
+    pub memcpy_lat: u64,
+    /// Memory-unit occupancy of the bulk copy.
+    pub memcpy_occ: u64,
+}
+
+impl CoreSpec {
+    /// One DPA core: 1.8 GHz RISC-V with 16 hardware threads. Memory
+    /// latencies are calibrated so the UD/UC receive kernels land at
+    /// Table I's cycles/CQE and IPC (see `engine::tests`).
+    pub fn dpa() -> CoreSpec {
+        CoreSpec {
+            freq_ghz: 1.8,
+            threads: 16,
+            alu_lat: 1,
+            llc_lat: 20,
+            llc_occ: 8,
+            dram_lat: 150,
+            dram_occ: 24,
+            store_lat: 4,
+            store_occ: 4,
+            mmio_lat: 250,
+            mmio_occ: 16,
+            memcpy_lat: 0,
+            memcpy_occ: 0,
+        }
+    }
+
+    /// A server-class x86 core (2.6 GHz Epyc as in the DPA testbed host):
+    /// no hardware multithreading in the progress engine, but a wide
+    /// out-of-order pipeline — modeled as cheaper ALU work (traces use
+    /// pre-compressed ALU counts) and lower memory latencies.
+    pub fn x86() -> CoreSpec {
+        CoreSpec {
+            freq_ghz: 2.6,
+            threads: 1,
+            alu_lat: 1,
+            llc_lat: 12,
+            llc_occ: 2,
+            dram_lat: 110,
+            dram_occ: 8,
+            store_lat: 2,
+            store_occ: 1,
+            mmio_lat: 250,
+            mmio_occ: 8,
+            memcpy_lat: 350,
+            memcpy_occ: 300,
+        }
+    }
+}
+
+/// NIC DMA-engine model: the inbound pipeline (packet placement + CQE
+/// write) and the loopback pipeline (DPA-initiated staging→user copies).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NicSpec {
+    /// Fixed cost per inbound chunk (descriptor + CQE write), ns.
+    pub inbound_op_ns: f64,
+    /// Per-byte cost of inbound placement, ns (DMA bandwidth).
+    pub inbound_byte_ns: f64,
+    /// Fixed cost per loopback copy operation, ns.
+    pub loopback_op_ns: f64,
+    /// Per-byte cost of loopback copies, ns.
+    pub loopback_byte_ns: f64,
+}
+
+impl NicSpec {
+    /// BlueField-3 class engines: ~10 ns per descriptor, ~50 GB/s DMA per
+    /// pipeline (comfortably above the 25 GB/s of one 200 Gbit/s port).
+    pub fn bf3() -> NicSpec {
+        NicSpec {
+            inbound_op_ns: 10.0,
+            inbound_byte_ns: 0.02,
+            loopback_op_ns: 10.0,
+            loopback_byte_ns: 0.02,
+        }
+    }
+}
+
+/// The full accelerator complex.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpaSpec {
+    /// Core model.
+    pub core: CoreSpec,
+    /// Number of cores.
+    pub cores: u32,
+    /// Last-level cache capacity (bytes) — bounds the bitmap state the
+    /// datapath can hold (Fig. 7 analysis lives in `mcag-models`).
+    pub llc_bytes: usize,
+    /// NIC engine model.
+    pub nic: NicSpec,
+}
+
+impl DpaSpec {
+    /// The ConnectX-7 / BlueField-3 DPA of the paper: 16 cores × 16
+    /// threads, 1.5 MB LLC.
+    pub fn bf3() -> DpaSpec {
+        DpaSpec {
+            core: CoreSpec::dpa(),
+            cores: 16,
+            llc_bytes: 3 << 19, // 1.5 MB
+            nic: NicSpec::bf3(),
+        }
+    }
+
+    /// Host-CPU "accelerator": one x86 core, no multithreading (the
+    /// single-threaded baseline of Figs. 5 and 13).
+    pub fn host_cpu() -> DpaSpec {
+        DpaSpec {
+            core: CoreSpec::x86(),
+            cores: 1,
+            llc_bytes: 32 << 20,
+            nic: NicSpec::bf3(),
+        }
+    }
+
+    /// Total hardware execution contexts.
+    pub fn total_threads(&self) -> u32 {
+        self.cores * self.core.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf3_matches_paper_description() {
+        let d = DpaSpec::bf3();
+        assert_eq!(d.cores, 16);
+        assert_eq!(d.core.threads, 16);
+        assert_eq!(d.total_threads(), 256);
+        assert_eq!(d.llc_bytes, 1_572_864); // 1.5 MB
+        assert!((d.core.freq_ghz - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nic_dma_bandwidth_exceeds_port_rate() {
+        let n = NicSpec::bf3();
+        // 1/byte_ns = bytes/ns = GB/s; must exceed 25 GB/s (200 Gbit/s).
+        assert!(1.0 / n.inbound_byte_ns > 25.0);
+        assert!(1.0 / n.loopback_byte_ns > 25.0);
+    }
+}

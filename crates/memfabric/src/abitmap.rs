@@ -1,0 +1,146 @@
+//! Lock-free shared receive bitmap.
+//!
+//! RX workers (one per multicast subgroup) and the application thread
+//! (recovery path) all update delivery state concurrently. `fetch_or`
+//! on 64-bit words gives exactly-once accounting without locks — the
+//! practical embodiment of "C11 atomics … non-blocking signaling between
+//! the main application thread and workers" (Section V-A).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Concurrent chunk bitmap with a live remaining-count.
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    len: usize,
+    remaining: AtomicUsize,
+}
+
+impl AtomicBitmap {
+    /// Track `len` chunks, all missing.
+    pub fn new(len: usize) -> AtomicBitmap {
+        AtomicBitmap {
+            words: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            len,
+            remaining: AtomicUsize::new(len),
+        }
+    }
+
+    /// Chunks tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no chunks are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `psn`; returns true if this call was the one that set it.
+    /// Decrements the remaining count exactly once per bit.
+    pub fn set(&self, psn: u32) -> bool {
+        let i = psn as usize;
+        assert!(i < self.len, "PSN {psn} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        let prev = self.words[i / 64].fetch_or(mask, Ordering::AcqRel);
+        if prev & mask == 0 {
+            self.remaining.fetch_sub(1, Ordering::AcqRel);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is bit `psn` set?
+    pub fn get(&self, psn: u32) -> bool {
+        let i = psn as usize;
+        assert!(i < self.len);
+        self.words[i / 64].load(Ordering::Acquire) & (1u64 << (i % 64)) != 0
+    }
+
+    /// Chunks still missing.
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// All chunks present?
+    pub fn is_complete(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Snapshot the maximal missing runs (the recovery request list).
+    /// Concurrent setters may shrink the result immediately — callers
+    /// must tolerate fetching chunks that have since arrived (the bitmap
+    /// deduplicates).
+    pub fn missing_runs(&self) -> Vec<std::ops::Range<u32>> {
+        let mut runs = Vec::new();
+        let mut run_start: Option<u32> = None;
+        for i in 0..self.len as u32 {
+            if self.get(i) {
+                if let Some(s) = run_start.take() {
+                    runs.push(s..i);
+                }
+            } else if run_start.is_none() {
+                run_start = Some(i);
+            }
+        }
+        if let Some(s) = run_start {
+            runs.push(s..self.len as u32);
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn exactly_once_accounting() {
+        let bm = AtomicBitmap::new(100);
+        assert!(bm.set(7));
+        assert!(!bm.set(7));
+        assert_eq!(bm.remaining(), 99);
+        assert!(bm.get(7) && !bm.get(8));
+    }
+
+    #[test]
+    fn completion() {
+        let bm = AtomicBitmap::new(65);
+        for i in 0..65 {
+            bm.set(i);
+        }
+        assert!(bm.is_complete());
+        assert!(bm.missing_runs().is_empty());
+    }
+
+    #[test]
+    fn missing_runs_snapshot() {
+        let bm = AtomicBitmap::new(10);
+        for i in [0, 1, 5] {
+            bm.set(i);
+        }
+        assert_eq!(bm.missing_runs(), vec![2..5, 6..10]);
+    }
+
+    #[test]
+    fn concurrent_setters_count_each_bit_once() {
+        let bm = Arc::new(AtomicBitmap::new(4096));
+        let threads = 8;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let bm = Arc::clone(&bm);
+                s.spawn(move || {
+                    // Heavy overlap: every thread sets every bit, offset
+                    // start to vary interleavings.
+                    for i in 0..4096u32 {
+                        bm.set((i + t * 512) % 4096);
+                    }
+                });
+            }
+        });
+        assert!(bm.is_complete());
+        assert_eq!(bm.remaining(), 0);
+    }
+}

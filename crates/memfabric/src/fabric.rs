@@ -1,0 +1,317 @@
+//! The in-process unreliable fabric: multicast datagram channels with
+//! drop/reorder injection, reliable control channels, and registered
+//! memory windows for one-sided reads.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mcag_core::ControlMsg;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A multicast datagram: one MTU-sized chunk plus its immediate data.
+#[derive(Debug, Clone)]
+pub struct Datagram {
+    /// Sender rank index.
+    pub src: u32,
+    /// Immediate value (collective id | PSN).
+    pub imm: u32,
+    /// Payload (zero-copy slice of the sender's buffer).
+    pub payload: Bytes,
+}
+
+/// A reliable control packet.
+#[derive(Debug, Clone)]
+pub struct CtrlPacket {
+    /// Sender rank index.
+    pub src: u32,
+    /// Message.
+    pub msg: ControlMsg,
+}
+
+/// Fault-injection configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemFabricConfig {
+    /// Probability a multicast datagram copy is dropped at one receiver.
+    pub drop_prob: f64,
+    /// Probability a datagram is held back and released later,
+    /// reordering the stream (models adaptive-routing OOO delivery).
+    pub reorder_prob: f64,
+    /// RNG seed (per-sender streams derive from it).
+    pub seed: u64,
+}
+
+impl MemFabricConfig {
+    /// Lossless, ordered fabric.
+    pub fn reliable() -> MemFabricConfig {
+        MemFabricConfig {
+            drop_prob: 0.0,
+            reorder_prob: 0.0,
+            seed: 7,
+        }
+    }
+
+    /// Configured loss and reordering.
+    pub fn faulty(drop_prob: f64, reorder_prob: f64, seed: u64) -> MemFabricConfig {
+        assert!((0.0..=1.0).contains(&drop_prob));
+        assert!((0.0..=1.0).contains(&reorder_prob));
+        MemFabricConfig {
+            drop_prob,
+            reorder_prob,
+            seed,
+        }
+    }
+}
+
+/// Shared fabric state.
+pub struct MemFabric {
+    p: usize,
+    subgroups: usize,
+    cfg: MemFabricConfig,
+    /// `data_tx[rank][subgroup]`: channel into that rank's subgroup CQ.
+    data_tx: Vec<Vec<Sender<Datagram>>>,
+    /// `ctrl_tx[rank]`: reliable control channel.
+    ctrl_tx: Vec<Sender<CtrlPacket>>,
+    /// Registered receive windows, readable one-sided (RDMA Read).
+    windows: Vec<Arc<Mutex<Vec<u8>>>>,
+}
+
+/// Receive side handed to each rank at setup.
+pub struct RankRx {
+    /// One datagram receiver per subgroup (the per-QP CQs).
+    pub data_rx: Vec<Receiver<Datagram>>,
+    /// Control receiver.
+    pub ctrl_rx: Receiver<CtrlPacket>,
+}
+
+impl MemFabric {
+    /// Build a fabric for `p` ranks × `subgroups` multicast groups with
+    /// `recv_len`-byte registered windows. Returns the fabric and each
+    /// rank's receive handles.
+    pub fn new(
+        p: usize,
+        subgroups: usize,
+        recv_len: usize,
+        cfg: MemFabricConfig,
+    ) -> (Arc<MemFabric>, Vec<RankRx>) {
+        assert!(p >= 2 && subgroups >= 1);
+        let mut data_tx = Vec::with_capacity(p);
+        let mut ctrl_tx = Vec::with_capacity(p);
+        let mut rxs = Vec::with_capacity(p);
+        for _ in 0..p {
+            let mut dtx = Vec::with_capacity(subgroups);
+            let mut drx = Vec::with_capacity(subgroups);
+            for _ in 0..subgroups {
+                let (t, r) = unbounded();
+                dtx.push(t);
+                drx.push(r);
+            }
+            let (ct, cr) = unbounded();
+            data_tx.push(dtx);
+            ctrl_tx.push(ct);
+            rxs.push(RankRx {
+                data_rx: drx,
+                ctrl_rx: cr,
+            });
+        }
+        let windows = (0..p).map(|_| Arc::new(Mutex::new(vec![0u8; recv_len]))).collect();
+        (
+            Arc::new(MemFabric {
+                p,
+                subgroups,
+                cfg,
+                data_tx,
+                ctrl_tx,
+                windows,
+            }),
+            rxs,
+        )
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    /// This rank's registered window (RX workers and recovery write it;
+    /// neighbors read it one-sided).
+    pub fn window(&self, rank: u32) -> Arc<Mutex<Vec<u8>>> {
+        Arc::clone(&self.windows[rank as usize])
+    }
+
+    /// One-sided read of `range` from `target`'s registered window — the
+    /// RDMA Read of the recovery fetch. No target-side software runs.
+    pub fn read(&self, target: u32, range: Range<usize>) -> Vec<u8> {
+        let w = self.windows[target as usize].lock();
+        w[range].to_vec()
+    }
+
+    /// Reliable control send.
+    pub fn ctrl_send(&self, src: u32, dst: u32, msg: ControlMsg) {
+        // A send can race with teardown of a completed rank; a closed
+        // control channel means the peer has released its buffer and no
+        // longer needs the message.
+        let _ = self.ctrl_tx[dst as usize].send(CtrlPacket { src, msg });
+    }
+
+    /// Create the per-sender multicast port (owns the fault-injection
+    /// RNG and reorder holdback state).
+    pub fn tx_port(self: &Arc<Self>, rank: u32) -> McastPort {
+        McastPort {
+            fabric: Arc::clone(self),
+            rank,
+            rng: StdRng::seed_from_u64(self.cfg.seed ^ (0x9e37 + rank as u64 * 0x1_0000_0001)),
+            held: Vec::new(),
+        }
+    }
+}
+
+/// Per-sender multicast injection port with fault injection.
+pub struct McastPort {
+    fabric: Arc<MemFabric>,
+    rank: u32,
+    rng: StdRng,
+    /// Held-back (dst, subgroup, datagram) triples for reordering.
+    held: Vec<(u32, usize, Datagram)>,
+}
+
+impl McastPort {
+    /// Multicast one datagram to every other rank on `subgroup`.
+    pub fn mcast(&mut self, subgroup: usize, imm: u32, payload: Bytes) {
+        assert!(subgroup < self.fabric.subgroups);
+        let d = Datagram {
+            src: self.rank,
+            imm,
+            payload,
+        };
+        for dst in 0..self.fabric.p as u32 {
+            if dst == self.rank {
+                continue;
+            }
+            // Per-receiver drop: one corrupted copy does not affect the
+            // other receivers (tree-internal drops are modeled by the
+            // DES fabric; here we exercise the per-receiver slow path).
+            if self.fabric.cfg.drop_prob > 0.0 && self.rng.random_bool(self.fabric.cfg.drop_prob)
+            {
+                continue;
+            }
+            if self.fabric.cfg.reorder_prob > 0.0
+                && self.rng.random_bool(self.fabric.cfg.reorder_prob)
+            {
+                self.held.push((dst, subgroup, d.clone()));
+                continue;
+            }
+            self.deliver(dst, subgroup, d.clone());
+            // Occasionally release a held datagram after a later one —
+            // the observable reordering.
+            if !self.held.is_empty() && self.rng.random_bool(0.5) {
+                let i = self.rng.random_range(0..self.held.len());
+                let (hd, hs, hdg) = self.held.swap_remove(i);
+                self.deliver(hd, hs, hdg);
+            }
+        }
+    }
+
+    /// Flush all held datagrams (end of the send path — nothing stays
+    /// in flight forever).
+    pub fn flush(&mut self) {
+        for (dst, sub, d) in std::mem::take(&mut self.held) {
+            self.deliver(dst, sub, d);
+        }
+    }
+
+    fn deliver(&self, dst: u32, subgroup: usize, d: Datagram) {
+        // Receiver may have torn down after completing.
+        let _ = self.fabric.data_tx[dst as usize][subgroup].send(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_multicast_reaches_everyone() {
+        let (fab, rxs) = MemFabric::new(4, 1, 64, MemFabricConfig::reliable());
+        let mut port = fab.tx_port(0);
+        port.mcast(0, 42, Bytes::from_static(b"hello"));
+        port.flush();
+        for (r, rx) in rxs.iter().enumerate() {
+            if r == 0 {
+                assert!(rx.data_rx[0].try_recv().is_err(), "no self-delivery");
+            } else {
+                let d = rx.data_rx[0].try_recv().unwrap();
+                assert_eq!(d.imm, 42);
+                assert_eq!(&d.payload[..], b"hello");
+                assert_eq!(d.src, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn drops_are_per_receiver_and_seeded() {
+        let cfg = MemFabricConfig::faulty(0.5, 0.0, 123);
+        let count = |seed: u64| {
+            let cfg = MemFabricConfig { seed, ..cfg };
+            let (fab, rxs) = MemFabric::new(8, 1, 64, cfg);
+            let mut port = fab.tx_port(0);
+            for i in 0..100 {
+                port.mcast(0, i, Bytes::from_static(b"x"));
+            }
+            port.flush();
+            rxs[1..]
+                .iter()
+                .map(|rx| rx.data_rx[0].try_iter().count())
+                .sum::<usize>()
+        };
+        let a = count(123);
+        let b = count(123);
+        assert_eq!(a, b, "same seed, same drops");
+        // 700 copies at 50% drop: statistically far from 0 and 700.
+        assert!(a > 200 && a < 500, "dropped count {a}");
+    }
+
+    #[test]
+    fn reordering_preserves_delivery() {
+        let cfg = MemFabricConfig::faulty(0.0, 0.4, 5);
+        let (fab, rxs) = MemFabric::new(2, 1, 64, cfg);
+        let mut port = fab.tx_port(0);
+        for i in 0..200u32 {
+            port.mcast(0, i, Bytes::from_static(b"y"));
+        }
+        port.flush();
+        let imms: Vec<u32> = rxs[1].data_rx[0].try_iter().map(|d| d.imm).collect();
+        assert_eq!(imms.len(), 200, "reordering must not lose datagrams");
+        let mut sorted = imms.clone();
+        sorted.sort_unstable();
+        assert_ne!(imms, sorted, "stream was never reordered");
+        assert_eq!(sorted, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_sided_read_sees_window_writes() {
+        let (fab, _rxs) = MemFabric::new(2, 1, 16, MemFabricConfig::reliable());
+        fab.window(1).lock()[4..8].copy_from_slice(&[9, 8, 7, 6]);
+        assert_eq!(fab.read(1, 4..8), vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn ctrl_channel_is_reliable_and_ordered() {
+        let cfg = MemFabricConfig::faulty(0.9, 0.9, 1); // data chaos only
+        let (fab, rxs) = MemFabric::new(2, 1, 16, cfg);
+        for round in 0..50u8 {
+            fab.ctrl_send(0, 1, ControlMsg::Barrier { round });
+        }
+        let rounds: Vec<u8> = rxs[1]
+            .ctrl_rx
+            .try_iter()
+            .map(|p| match p.msg {
+                ControlMsg::Barrier { round } => round,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rounds, (0..50).collect::<Vec<_>>());
+    }
+}

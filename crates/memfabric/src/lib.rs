@@ -1,0 +1,30 @@
+//! # mcag-memfabric — a threaded, real-byte unreliable fabric
+//!
+//! The discrete-event simulator validates timing and traffic; this crate
+//! validates the *protocol itself* the way the paper's UCC backend runs
+//! it: real OS threads for the application, TX worker and RX workers,
+//! C11-style atomics for their signaling, real staging rings, real
+//! buffer bytes — over an in-process fabric that drops and reorders
+//! datagrams on demand.
+//!
+//! * [`fabric`] — multicast groups over crossbeam channels with seeded
+//!   drop/reorder injection; registered memory windows for one-sided
+//!   reads (the recovery fetch path).
+//! * [`abitmap`] — the shared receive bitmap as a `fetch_or` atomic
+//!   structure (the inter-thread synchronization story of Section V).
+//! * [`collective`] — the threaded Broadcast/Allgather engine reusing
+//!   the `mcag-core` plan, sequencer, barrier, and staging ring.
+//!
+//! End-to-end property: after an Allgather under loss, reordering and
+//! staging exhaustion, every rank's receive buffer equals the
+//! concatenation of all send buffers.
+
+#![warn(missing_docs)]
+
+pub mod abitmap;
+pub mod collective;
+pub mod fabric;
+
+pub use abitmap::AtomicBitmap;
+pub use collective::{run_threaded, MemRunReport, RankStats};
+pub use fabric::{MemFabric, MemFabricConfig};

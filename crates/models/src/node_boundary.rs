@@ -1,0 +1,107 @@
+//! Fig. 3: data movement at the training-node boundary for the two
+//! `{Allgather, Reduce-Scatter}` configurations.
+//!
+//! Ring algorithms load both NIC directions with `N(P−1)` for each
+//! collective; the `{multicast AG, in-network RS}` pair moves the same
+//! application data with `N` on AG's send path and RS's receive path —
+//! the bandwidth-optimal pair complements rather than competes.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-NIC byte volumes of one collective at one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeBoundary {
+    /// Bytes leaving the NIC.
+    pub send_bytes: u64,
+    /// Bytes entering the NIC.
+    pub recv_bytes: u64,
+}
+
+/// Collectives appearing in Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Collective {
+    /// Ring Allgather.
+    AllgatherRing,
+    /// Multicast Allgather (this paper).
+    AllgatherMcast,
+    /// Ring Reduce-Scatter.
+    ReduceScatterRing,
+    /// In-network-compute Reduce-Scatter (SHARP-style).
+    ReduceScatterInc,
+}
+
+/// Fig. 3's per-collective node-boundary volumes for `p` ranks and `n`
+/// bytes per shard.
+pub fn node_boundary(c: Collective, p: u32, n: u64) -> NodeBoundary {
+    assert!(p >= 2);
+    let heavy = n * (p as u64 - 1);
+    match c {
+        Collective::AllgatherRing => NodeBoundary {
+            send_bytes: heavy,
+            recv_bytes: heavy,
+        },
+        Collective::AllgatherMcast => NodeBoundary {
+            send_bytes: n,
+            recv_bytes: heavy,
+        },
+        Collective::ReduceScatterRing => NodeBoundary {
+            send_bytes: heavy,
+            recv_bytes: heavy,
+        },
+        Collective::ReduceScatterInc => NodeBoundary {
+            send_bytes: heavy,
+            recv_bytes: n,
+        },
+    }
+}
+
+/// Combined NIC load of a concurrently-running pair.
+pub fn pair_boundary(a: Collective, b: Collective, p: u32, n: u64) -> NodeBoundary {
+    let (x, y) = (node_boundary(a, p, n), node_boundary(b, p, n));
+    NodeBoundary {
+        send_bytes: x.send_bytes + y.send_bytes,
+        recv_bytes: x.recv_bytes + y.recv_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_volumes() {
+        let (p, n) = (16u32, 1u64 << 20);
+        let heavy = n * 15;
+        // Ring + Ring: both directions carry 2·N(P−1).
+        let rr = pair_boundary(
+            Collective::AllgatherRing,
+            Collective::ReduceScatterRing,
+            p,
+            n,
+        );
+        assert_eq!(rr.send_bytes, 2 * heavy);
+        assert_eq!(rr.recv_bytes, 2 * heavy);
+        // INC + Mcast: each direction carries N(P−1) + N.
+        let opt = pair_boundary(
+            Collective::AllgatherMcast,
+            Collective::ReduceScatterInc,
+            p,
+            n,
+        );
+        assert_eq!(opt.send_bytes, heavy + n);
+        assert_eq!(opt.recv_bytes, heavy + n);
+        // The optimal pair moves ~half the bytes through the NIC.
+        let ratio = rr.send_bytes as f64 / opt.send_bytes as f64;
+        assert!((ratio - 2.0 * 15.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_pair_does_not_share_bottlenecks() {
+        // Insight 2: AG_mc is receive-bound, RS_inc is send-bound.
+        let (p, n) = (8u32, 4096u64);
+        let ag = node_boundary(Collective::AllgatherMcast, p, n);
+        let rs = node_boundary(Collective::ReduceScatterInc, p, n);
+        assert!(ag.recv_bytes > ag.send_bytes);
+        assert!(rs.send_bytes > rs.recv_bytes);
+    }
+}

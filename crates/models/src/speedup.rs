@@ -1,0 +1,121 @@
+//! Appendix B: time reduction from running multicast Allgather next to
+//! in-network-compute Reduce-Scatter.
+//!
+//! With both collectives concurrently in flight over a full-duplex NIC,
+//! the ring/ring configuration splits each direction of the NIC evenly
+//! (eq. 1), while `{AG_mc, RS_inc}` gives Allgather's send path and
+//! Reduce-Scatter's receive path the tiny `1/P` share they need and the
+//! heavy directions the rest (eq. 2) — the two bandwidth-optimal
+//! algorithms "don't share network bottlenecks" (Insight 2). The speedup
+//! follows as `S = 2 − 2/P` (eq. 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of each NIC direction used by each collective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthShares {
+    /// Allgather share of the send direction.
+    pub ag_send: f64,
+    /// Allgather share of the receive direction.
+    pub ag_recv: f64,
+    /// Reduce-Scatter share of the send direction.
+    pub rs_send: f64,
+    /// Reduce-Scatter share of the receive direction.
+    pub rs_recv: f64,
+}
+
+impl BandwidthShares {
+    /// Equation 1: `{AG_ring, RS_ring}` — every path takes half.
+    pub fn ring_ring(_p: u32) -> BandwidthShares {
+        BandwidthShares {
+            ag_send: 0.5,
+            ag_recv: 0.5,
+            rs_send: 0.5,
+            rs_recv: 0.5,
+        }
+    }
+
+    /// Equation 2: `{AG_mc, RS_inc}` — AG sends `N` against RS's
+    /// `N(P−1)`, and symmetrically on the receive path.
+    pub fn mcast_inc(p: u32) -> BandwidthShares {
+        assert!(p >= 2);
+        let small = 1.0 / p as f64;
+        BandwidthShares {
+            ag_send: small,
+            ag_recv: 1.0 - small,
+            rs_send: 1.0 - small,
+            rs_recv: small,
+        }
+    }
+}
+
+/// Equation 3: speedup of `{AG_mc, RS_inc}` over `{AG_ring, RS_ring}`
+/// for `P` ranks: `S = 2 − 2/P`.
+pub fn concurrent_speedup(p: u32) -> f64 {
+    assert!(p >= 2);
+    2.0 - 2.0 / p as f64
+}
+
+/// Completion-time model behind eq. 3: time to move the `N(P−1)` heavy
+/// direction at the given bandwidth share of `bnic_bytes_per_s`.
+pub fn pair_completion_secs(
+    p: u32,
+    n_bytes: u64,
+    bnic_bytes_per_s: f64,
+    shares: &BandwidthShares,
+) -> f64 {
+    assert!(p >= 2);
+    let heavy = (n_bytes * (p as u64 - 1)) as f64;
+    // AG is bound by its receive path, RS by its send path; the pair
+    // completes when the slower of the two finishes.
+    let t_ag = heavy / (shares.ag_recv * bnic_bytes_per_s);
+    let t_rs = heavy / (shares.rs_send * bnic_bytes_per_s);
+    t_ag.max(t_rs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn speedup_limits() {
+        assert!((concurrent_speedup(2) - 1.0).abs() < 1e-12);
+        assert!((concurrent_speedup(4) - 1.5).abs() < 1e-12);
+        assert!((concurrent_speedup(1024) - 1.998).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shares_are_consistent() {
+        let s = BandwidthShares::mcast_inc(16);
+        assert!((s.ag_send + s.rs_send - 1.0).abs() < 1e-12);
+        assert!((s.ag_recv + s.rs_recv - 1.0).abs() < 1e-12);
+        assert!((s.ag_send - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_ratio_equals_eq3() {
+        for p in [2u32, 4, 16, 188, 1024] {
+            let b = 25e9; // 200 Gbit/s
+            let n = 8 << 20;
+            let t_ring =
+                pair_completion_secs(p, n, b, &BandwidthShares::ring_ring(p));
+            let t_opt = pair_completion_secs(p, n, b, &BandwidthShares::mcast_inc(p));
+            let s = t_ring / t_opt;
+            assert!(
+                (s - concurrent_speedup(p)).abs() < 1e-9,
+                "p={p}: ratio {s} vs formula {}",
+                concurrent_speedup(p)
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn speedup_monotonic_and_bounded(p in 2u32..100_000) {
+            let s = concurrent_speedup(p);
+            prop_assert!((1.0..2.0).contains(&s));
+            prop_assert!(concurrent_speedup(p + 1) >= s);
+        }
+    }
+}

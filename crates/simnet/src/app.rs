@@ -1,0 +1,160 @@
+//! The endpoint application interface: protocol state machines implement
+//! [`RankApp`] and interact with the fabric through [`Ctx`].
+//!
+//! Everything is event-driven: the fabric calls back into the app when a
+//! completion surfaces from a worker thread, when a timer fires, or when
+//! the NIC send queue drains; the app responds by posting work requests.
+//! This mirrors the structure of the paper's progress engine (Fig. 9):
+//! the application thread and the TX/RX workers communicate through
+//! queues and signals, and all data-plane work happens in reaction to
+//! completions.
+
+use crate::fabric::Inner;
+use crate::time::SimTime;
+use mcag_verbs::{Cqe, ImmData, McastGroupId, QpNum, Rank};
+
+/// What a delivered packet carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload<M> {
+    /// A data chunk descriptor: `origin`'s buffer chunk number `psn`.
+    /// (The DES moves descriptors, not bytes; the threaded memfabric is
+    /// where real payload bytes flow.)
+    Chunk {
+        /// Rank whose send buffer this chunk belongs to.
+        origin: Rank,
+        /// Chunk index within `origin`'s send buffer.
+        psn: u32,
+    },
+    /// A protocol control message.
+    Msg(M),
+    /// No payload (e.g. RDMA read completions identified by `wr_id`).
+    Empty,
+}
+
+/// A per-rank protocol endpoint driven by the fabric.
+pub trait RankApp<M> {
+    /// Called once at simulation start.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>);
+
+    /// A completion surfaced from one of this rank's RX workers.
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_, M>, cqe: Cqe, payload: Payload<M>);
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: u64);
+
+    /// The NIC send queue fully drained (requested via
+    /// [`Ctx::notify_tx_drained`]) — the DES equivalent of the send worker
+    /// observing its batched send completions.
+    fn on_tx_drained(&mut self, _ctx: &mut Ctx<'_, M>, _token: u64) {}
+}
+
+/// Handle through which an app interacts with the fabric.
+pub struct Ctx<'a, M> {
+    pub(crate) inner: &'a mut Inner<M>,
+    pub(crate) rank: Rank,
+}
+
+impl<M: Clone + 'static> Ctx<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Total ranks in the fabric.
+    pub fn num_ranks(&self) -> usize {
+        self.inner.num_ranks()
+    }
+
+    /// Post a multicast datagram carrying chunk `psn` of `origin`'s buffer
+    /// (normally `origin == self.rank()`; relays would differ). `len` is
+    /// the payload length in bytes.
+    pub fn post_mcast_chunk(
+        &mut self,
+        qp: QpNum,
+        group: McastGroupId,
+        imm: ImmData,
+        origin: Rank,
+        psn: u32,
+        len: usize,
+    ) {
+        self.inner
+            .post_mcast(self.rank, qp, group, imm, origin, psn, len);
+    }
+
+    /// Post a reliable control message to `dst` (slow-path RC semantics:
+    /// never dropped, still consumes wire time).
+    pub fn post_msg(&mut self, dst: Rank, dst_qp: QpNum, msg: M, len: usize) {
+        self.inner.post_msg(self.rank, dst, dst_qp, msg, len);
+    }
+
+    /// Post a unicast data chunk to `dst` (two-sided). Reliable chunks
+    /// model RC/UC-connected traffic; unreliable ones can suffer fabric
+    /// drops like multicast datagrams.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_unicast_chunk(
+        &mut self,
+        dst: Rank,
+        dst_qp: QpNum,
+        imm: Option<ImmData>,
+        origin: Rank,
+        psn: u32,
+        len: usize,
+        reliable: bool,
+    ) {
+        self.inner
+            .post_unicast_chunk(self.rank, dst, dst_qp, imm, origin, psn, len, reliable);
+    }
+
+    /// Issue a one-sided RDMA Read of `len` bytes from `dst` over `qp`
+    /// (RC): the remote NIC answers in hardware; completion arrives as a
+    /// [`mcag_verbs::CqeOpcode::RdmaReadDone`] CQE with `wr_id == tag`.
+    pub fn post_rdma_read(&mut self, qp: QpNum, dst: Rank, len: usize, tag: u64) {
+        self.inner.post_rdma_read(self.rank, qp, dst, len, tag);
+    }
+
+    /// Contribute chunk `psn` (shard owned by `owner`) to an in-network
+    /// reduction over `group`: switches merge contributions up the tree
+    /// and `owner` receives one reduced chunk on `owner_qp` — the
+    /// SHARP-style Reduce-Scatter substrate of Section II.
+    #[allow(clippy::too_many_arguments)]
+    pub fn post_inc_chunk(
+        &mut self,
+        qp: QpNum,
+        group: McastGroupId,
+        imm: ImmData,
+        owner: Rank,
+        owner_qp: QpNum,
+        psn: u32,
+        len: usize,
+    ) {
+        self.inner
+            .post_inc(self.rank, qp, group, imm, owner, owner_qp, psn, len);
+    }
+
+    /// Arm a one-shot timer `delay_ns` from now; fires `on_timer(token)`.
+    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
+        self.inner.set_timer(self.rank, delay_ns, token);
+    }
+
+    /// Request `on_tx_drained(token)` once every send queued on `qp` has
+    /// left the NIC.
+    pub fn notify_tx_drained(&mut self, qp: QpNum, token: u64) {
+        self.inner.notify_tx_drained(self.rank, qp, token);
+    }
+
+    /// Declare this rank's collective complete (records completion time;
+    /// the run ends when every rank is done).
+    pub fn mark_done(&mut self) {
+        self.inner.mark_done(self.rank);
+    }
+
+    /// RNR drops observed at this rank's NIC so far.
+    pub fn rnr_drops(&self) -> u64 {
+        self.inner.rnr_drops(self.rank)
+    }
+}

@@ -1,0 +1,146 @@
+//! Fabric and host datapath configuration.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Cost model of the endpoint datapath (NIC DMA + progress-engine CPU).
+///
+/// The latency constants default to the breakdown in Fig. 6 of the paper:
+/// ~170 ns for the NIC to surface a CQE, ~600 ns of progress-thread work
+/// per CQE, with the staging-to-user copy overlapped by the non-blocking
+/// DMA engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostModel {
+    /// CPU cost to build + post one send work request (doorbell batching
+    /// amortizes this in the real stack; we charge the amortized cost).
+    pub tx_post_overhead_ns: u64,
+    /// NIC DMA latency from wire arrival to CQE visibility (step 2, Fig. 6).
+    pub rx_cqe_dma_ns: u64,
+    /// Progress-worker CPU time consumed per receive CQE: poll, PSN
+    /// decode, bitmap update, staging-copy issue, receive re-post
+    /// (step 3-4, Fig. 6).
+    pub rx_proc_ns_per_cqe: u64,
+    /// Number of receive-path worker threads per rank; QPs are pinned to
+    /// workers (packet parallelism, Section IV-C).
+    pub rx_workers: usize,
+    /// Receive queue depth per QP (BlueField-3 maximum is 8192); packets
+    /// arriving with no free slot are RNR-dropped.
+    pub rq_depth: usize,
+}
+
+impl HostModel {
+    /// UCC testbed host: 2.2 GHz Xeon, single-threaded UCX-style progress.
+    pub fn ucc_host() -> HostModel {
+        HostModel {
+            tx_post_overhead_ns: 150,
+            rx_cqe_dma_ns: 170,
+            rx_proc_ns_per_cqe: 350,
+            rx_workers: 1,
+            rq_depth: 8192,
+        }
+    }
+
+    /// An idealized infinitely-fast host, for isolating pure network
+    /// behaviour (traffic accounting, schedule shape).
+    pub fn ideal() -> HostModel {
+        HostModel {
+            tx_post_overhead_ns: 0,
+            rx_cqe_dma_ns: 0,
+            rx_proc_ns_per_cqe: 0,
+            rx_workers: 1,
+            rq_depth: usize::MAX / 2,
+        }
+    }
+}
+
+/// Unreliability model: where and how packets disappear.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DropModel {
+    /// Probability that a droppable packet copy is corrupted on any single
+    /// link traversal. Real fabrics sit at ~1e-12 (Ethernet) to 1e-15
+    /// (InfiniBand) bit error rates (paper footnote 2); tests crank this up.
+    pub fabric_drop_prob: f64,
+    /// Forced drops for failure injection: `(origin rank, PSN, dst rank)`
+    /// multicast chunks silently vanish at the destination NIC.
+    pub forced: HashSet<(u32, u32, u32)>,
+}
+
+impl DropModel {
+    /// Lossless fabric.
+    pub fn none() -> DropModel {
+        DropModel {
+            fabric_drop_prob: 0.0,
+            forced: HashSet::new(),
+        }
+    }
+
+    /// Uniform per-traversal drop probability.
+    pub fn uniform(p: f64) -> DropModel {
+        assert!((0.0..=1.0).contains(&p));
+        DropModel {
+            fabric_drop_prob: p,
+            forced: HashSet::new(),
+        }
+    }
+}
+
+/// Complete fabric configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Endpoint datapath model.
+    pub host: HostModel,
+    /// Loss model.
+    pub drops: DropModel,
+    /// Per-hop switch forwarding latency (beyond serialization).
+    pub switch_latency_ns: u64,
+    /// If true, up-link selection is randomized per packet (adaptive
+    /// routing) — packets of one flow may arrive out of order, exercising
+    /// the staging-based OOO tolerance of the receive path.
+    pub adaptive_routing: bool,
+    /// RNG seed for drops and adaptive routing.
+    pub seed: u64,
+    /// Safety valve: abort if the event count explodes.
+    pub max_events: u64,
+}
+
+impl FabricConfig {
+    /// Configuration mirroring the 188-node UCC testbed runs.
+    pub fn ucc_default() -> FabricConfig {
+        FabricConfig {
+            host: HostModel::ucc_host(),
+            drops: DropModel::none(),
+            switch_latency_ns: 200,
+            adaptive_routing: false,
+            seed: 0x5eed,
+            max_events: 2_000_000_000,
+        }
+    }
+
+    /// Idealized hosts on a lossless fabric (pure network behaviour).
+    pub fn ideal() -> FabricConfig {
+        FabricConfig {
+            host: HostModel::ideal(),
+            ..FabricConfig::ucc_default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = FabricConfig::ucc_default();
+        assert_eq!(c.host.rx_workers, 1);
+        assert_eq!(c.host.rq_depth, 8192);
+        assert_eq!(c.drops.fabric_drop_prob, 0.0);
+        assert!(!c.adaptive_routing);
+    }
+
+    #[test]
+    #[should_panic]
+    fn drop_probability_validated() {
+        DropModel::uniform(1.5);
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-link traffic counters — the simulated equivalent of the switch
+//! port counters the paper reads for Fig. 12.
+
+use crate::topology::{LinkId, NodeKind, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Byte/packet counters for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkCounters {
+    /// Payload bytes of data-class packets (multicast + unicast data).
+    pub data_bytes: u64,
+    /// Payload bytes of control-class packets (barrier, signals, fetch).
+    pub ctrl_bytes: u64,
+    /// Total wire bytes including per-packet header overhead.
+    pub wire_bytes: u64,
+    /// Packets transmitted.
+    pub packets: u64,
+    /// Packet copies corrupted on this link (fabric drops).
+    pub drops: u64,
+}
+
+impl LinkCounters {
+    /// Merge another counter set into this one.
+    pub fn absorb(&mut self, other: &LinkCounters) {
+        self.data_bytes += other.data_bytes;
+        self.ctrl_bytes += other.ctrl_bytes;
+        self.wire_bytes += other.wire_bytes;
+        self.packets += other.packets;
+        self.drops += other.drops;
+    }
+}
+
+/// A snapshot of every link counter plus aggregation helpers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficReport {
+    per_link: Vec<LinkCounters>,
+}
+
+impl TrafficReport {
+    /// Wrap raw per-link counters (indexed by [`LinkId`]).
+    pub fn new(per_link: Vec<LinkCounters>) -> TrafficReport {
+        TrafficReport { per_link }
+    }
+
+    /// Counters of one directed link.
+    pub fn link(&self, l: LinkId) -> &LinkCounters {
+        &self.per_link[l.idx()]
+    }
+
+    /// All per-link counters.
+    pub fn per_link(&self) -> &[LinkCounters] {
+        &self.per_link
+    }
+
+    /// Sum counters over every directed link in the fabric.
+    pub fn total(&self) -> LinkCounters {
+        let mut t = LinkCounters::default();
+        for c in &self.per_link {
+            t.absorb(c);
+        }
+        t
+    }
+
+    /// Bytes transmitted summed across every *switch* egress port (links
+    /// whose source is a switch), including switch-to-host delivery
+    /// ports.
+    pub fn switch_port_tx_bytes(&self, topo: &Topology) -> u64 {
+        self.sum_where(topo, |topo, l| {
+            matches!(topo.kind(topo.link(l).src), NodeKind::Switch { .. })
+        })
+    }
+
+    /// The Fig. 12 metric: "performance counters across all switch
+    /// ports". Every switch port counts both directions, so a link's
+    /// bytes contribute once per switch endpoint — host↔leaf links count
+    /// once, switch↔switch links twice. This is where unicast Allgather's
+    /// `N·(P−1)` injection volume becomes visible, while multicast
+    /// injects only `N` per rank.
+    pub fn switch_port_rxtx_bytes(&self, topo: &Topology) -> u64 {
+        self.per_link
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let l = topo.link(LinkId(i as u32));
+                let endpoints = matches!(topo.kind(l.src), NodeKind::Switch { .. }) as u64
+                    + matches!(topo.kind(l.dst), NodeKind::Switch { .. }) as u64;
+                (c.data_bytes + c.ctrl_bytes) * endpoints
+            })
+            .sum()
+    }
+
+    /// Bytes crossing switch-to-switch links only (fabric core traffic).
+    pub fn inter_switch_bytes(&self, topo: &Topology) -> u64 {
+        self.sum_where(topo, |topo, l| {
+            matches!(topo.kind(topo.link(l).src), NodeKind::Switch { .. })
+                && matches!(topo.kind(topo.link(l).dst), NodeKind::Switch { .. })
+        })
+    }
+
+    /// Bytes injected by hosts (host → first switch / peer).
+    pub fn host_injection_bytes(&self, topo: &Topology) -> u64 {
+        self.sum_where(topo, |topo, l| {
+            matches!(topo.kind(topo.link(l).src), NodeKind::Host(_))
+        })
+    }
+
+    /// Bytes delivered to hosts (last switch → host).
+    pub fn host_delivery_bytes(&self, topo: &Topology) -> u64 {
+        self.sum_where(topo, |topo, l| {
+            matches!(topo.kind(topo.link(l).dst), NodeKind::Host(_))
+        })
+    }
+
+    /// Total data payload bytes moved across *all* links — the paper's
+    /// "total data movement across the network".
+    pub fn total_data_bytes(&self) -> u64 {
+        self.per_link.iter().map(|c| c.data_bytes).sum()
+    }
+
+    /// Total fabric drops.
+    pub fn total_drops(&self) -> u64 {
+        self.per_link.iter().map(|c| c.drops).sum()
+    }
+
+    /// Maximum data bytes observed on any single link — used to verify the
+    /// bandwidth-optimality invariant (each byte crosses each link once).
+    pub fn max_link_data_bytes(&self) -> u64 {
+        self.per_link.iter().map(|c| c.data_bytes).max().unwrap_or(0)
+    }
+
+    fn sum_where(&self, topo: &Topology, pred: impl Fn(&Topology, LinkId) -> bool) -> u64 {
+        self.per_link
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pred(topo, LinkId(*i as u32)))
+            .map(|(_, c)| c.data_bytes + c.ctrl_bytes)
+            .sum()
+    }
+
+    /// Element-wise sum of two reports (e.g. accumulating iterations).
+    pub fn absorb(&mut self, other: &TrafficReport) {
+        assert_eq!(self.per_link.len(), other.per_link.len());
+        for (a, b) in self.per_link.iter_mut().zip(&other.per_link) {
+            a.absorb(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcag_verbs::LinkRate;
+
+    #[test]
+    fn aggregation_respects_link_classes() {
+        let topo = Topology::single_switch(3, LinkRate::CX3_56G, 100);
+        // links: (h0<->sw) = 0 up, 1 down; (h1<->sw) = 2,3; (h2<->sw) = 4,5
+        let mut per_link = vec![LinkCounters::default(); topo.num_links()];
+        per_link[0].data_bytes = 100; // h0 -> sw (host injection)
+        per_link[1].data_bytes = 40; // sw -> h0 (switch port tx)
+        per_link[3].ctrl_bytes = 7; // sw -> h1 (switch port tx)
+        let r = TrafficReport::new(per_link);
+        assert_eq!(r.host_injection_bytes(&topo), 100);
+        assert_eq!(r.switch_port_tx_bytes(&topo), 47);
+        assert_eq!(r.host_delivery_bytes(&topo), 47);
+        assert_eq!(r.inter_switch_bytes(&topo), 0);
+        assert_eq!(r.total_data_bytes(), 140);
+        assert_eq!(r.max_link_data_bytes(), 100);
+    }
+
+    #[test]
+    fn absorb_sums_iterations() {
+        let topo = Topology::single_switch(2, LinkRate::CX3_56G, 100);
+        let mut a = TrafficReport::new(vec![LinkCounters::default(); topo.num_links()]);
+        let mut one = vec![LinkCounters::default(); topo.num_links()];
+        one[0].data_bytes = 5;
+        one[0].packets = 1;
+        let b = TrafficReport::new(one);
+        a.absorb(&b);
+        a.absorb(&b);
+        assert_eq!(a.link(LinkId(0)).data_bytes, 10);
+        assert_eq!(a.total().packets, 2);
+    }
+}

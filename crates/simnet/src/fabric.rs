@@ -1,0 +1,1190 @@
+//! The discrete-event fabric: NIC send/receive datapaths, switch
+//! forwarding with multicast replication, drop injection, and the event
+//! loop driving per-rank protocol apps.
+//!
+//! ## Timing model
+//!
+//! * Every directed link serializes packets at its line rate and adds a
+//!   propagation delay; a switch adds a store-and-forward latency per hop.
+//! * A NIC's injection pipeline issues one packet per
+//!   `max(serialization, tx_post_overhead)` — the latter models the CPU
+//!   cost of posting work requests (Fig. 5's single-core send bottleneck).
+//! * On the receive side, the NIC surfaces a CQE after `rx_cqe_dma_ns`;
+//!   the QP's assigned worker thread then spends `rx_proc_ns_per_cqe` per
+//!   completion, FIFO per worker. Receive slots are consumed at packet
+//!   arrival and recycled when the worker finishes processing — if the
+//!   backlog exceeds the RQ depth, packets are RNR-dropped, exactly the
+//!   failure mode the paper's RNR-synchronization phase exists to avoid.
+
+use crate::app::{Ctx, Payload, RankApp};
+use crate::config::FabricConfig;
+use crate::counters::{LinkCounters, TrafficReport};
+use crate::event::EventQueue;
+use crate::mcast::McastTree;
+use crate::routing::{self, descend, RouteMode};
+use crate::time::SimTime;
+use crate::topology::{LinkId, NodeId, NodeKind, Topology};
+use mcag_verbs::wire::{Destination, PacketHeader, PacketKind};
+use mcag_verbs::{CompletionStatus, Cqe, CqeOpcode, ImmData, McastGroupId, QpNum, Rank, Transport};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// What happens when a packet reaches its destination host.
+#[derive(Debug, Clone, Copy)]
+enum ArrivalSem {
+    /// Normal two-sided delivery into a pre-posted receive.
+    TwoSided,
+    /// RDMA Read request: target NIC answers in hardware with `resp_len`
+    /// bytes, completion tagged `tag` on the requester.
+    ReadReq { resp_len: usize, tag: u64, req_qp: QpNum },
+    /// RDMA Read response arriving back at the requester.
+    ReadResp { tag: u64, req_qp: QpNum },
+}
+
+#[derive(Debug, Clone)]
+enum RouteState {
+    Unicast {
+        path: Arc<[LinkId]>,
+        hop: usize,
+    },
+    Mcast {
+        group: McastGroupId,
+    },
+    /// In-network-compute contribution climbing its reduction tree
+    /// (SHARP-style). Switches absorb contributions until every child
+    /// branch has reported, then forward one merged packet up; the tree
+    /// root routes the result down to the shard's `owner`.
+    IncUp {
+        group: McastGroupId,
+        owner: Rank,
+        owner_qp: QpNum,
+    },
+}
+
+struct PacketInst<M> {
+    header: PacketHeader,
+    payload: Payload<M>,
+    route: RouteState,
+    sem: ArrivalSem,
+    reliable: bool,
+    dst_qp: QpNum,
+}
+
+impl<M: Clone> Clone for PacketInst<M> {
+    fn clone(&self) -> Self {
+        PacketInst {
+            header: self.header,
+            payload: self.payload.clone(),
+            route: self.route.clone(),
+            sem: self.sem,
+            reliable: self.reliable,
+            dst_qp: self.dst_qp,
+        }
+    }
+}
+
+enum Ev<M> {
+    TxKick {
+        rank: Rank,
+    },
+    LinkArrive {
+        link: LinkId,
+        pkt: Box<PacketInst<M>>,
+    },
+    CqeDone {
+        rank: Rank,
+        cqe: Cqe,
+        payload: Payload<M>,
+        repost_qp: Option<usize>,
+    },
+    Timer {
+        rank: Rank,
+        token: u64,
+    },
+    TxDrained {
+        rank: Rank,
+        token: u64,
+    },
+}
+
+struct QpState {
+    transport: Transport,
+    worker: usize,
+    rq_avail: usize,
+    rq_depth: usize,
+}
+
+struct NicState<M> {
+    uplink: LinkId,
+    /// One send queue per QP; the NIC arbiter serves them round-robin,
+    /// which is how concurrent collectives share injection bandwidth.
+    tx_queues: Vec<VecDeque<PacketInst<M>>>,
+    tx_rr: usize,
+    tx_free_at: SimTime,
+    kick_scheduled: bool,
+    /// Per-QP drain-notification tokens.
+    drain_tokens: Vec<Vec<u64>>,
+    workers: Vec<SimTime>,
+    qps: Vec<QpState>,
+    group_attach: HashMap<McastGroupId, usize>,
+    rnr_drops: u64,
+}
+
+/// Fabric internals reachable from [`Ctx`] (everything except the apps).
+pub struct Inner<M> {
+    topo: Arc<Topology>,
+    cfg: FabricConfig,
+    q: EventQueue<Ev<M>>,
+    nics: Vec<NicState<M>>,
+    trees: Vec<McastTree>,
+    counters: Vec<LinkCounters>,
+    link_busy: Vec<SimTime>,
+    route_cache: HashMap<(u32, u32), Arc<[LinkId]>>,
+    rng: StdRng,
+    done: Vec<Option<SimTime>>,
+    done_count: usize,
+    /// In-network reduction progress: contributions seen per
+    /// `(group, psn, switch)`.
+    inc_arrivals: HashMap<(u32, u32, NodeId), u32>,
+}
+
+/// Statistics of one completed run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Time the last rank finished.
+    pub end_time: SimTime,
+    /// Events processed.
+    pub events: u64,
+    /// Per-rank completion times (`None` if a rank never called
+    /// [`Ctx::mark_done`]).
+    pub per_rank_done: Vec<Option<SimTime>>,
+}
+
+impl RunStats {
+    /// True if every rank completed.
+    pub fn all_done(&self) -> bool {
+        self.per_rank_done.iter().all(|t| t.is_some())
+    }
+
+    /// Latest completion time across ranks that finished.
+    pub fn max_done(&self) -> Option<SimTime> {
+        self.per_rank_done.iter().flatten().copied().max()
+    }
+}
+
+/// The discrete-event fabric simulator. See the module docs for the model.
+pub struct Fabric<M> {
+    inner: Inner<M>,
+    apps: Vec<Option<Box<dyn RankApp<M>>>>,
+}
+
+impl<M: Clone + 'static> Fabric<M> {
+    /// Create a fabric over `topo` with the given configuration. Apps and
+    /// QPs must be registered before [`Fabric::run`].
+    pub fn new(topo: Topology, cfg: FabricConfig) -> Fabric<M> {
+        let topo = Arc::new(topo);
+        let n = topo.num_hosts();
+        let nics = (0..n)
+            .map(|r| {
+                let host = topo.host_node(Rank(r as u32));
+                let ups = topo.uplinks(host);
+                assert_eq!(ups.len(), 1, "hosts have exactly one NIC port");
+                NicState {
+                    uplink: ups[0],
+                    tx_queues: Vec::new(),
+                    tx_rr: 0,
+                    tx_free_at: SimTime::ZERO,
+                    kick_scheduled: false,
+                    drain_tokens: Vec::new(),
+                    workers: vec![SimTime::ZERO; cfg.host.rx_workers.max(1)],
+                    qps: Vec::new(),
+                    group_attach: HashMap::new(),
+                    rnr_drops: 0,
+                }
+            })
+            .collect();
+        let counters = vec![LinkCounters::default(); topo.num_links()];
+        let link_busy = vec![SimTime::ZERO; topo.num_links()];
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Fabric {
+            inner: Inner {
+                topo,
+                cfg,
+                q: EventQueue::new(),
+                nics,
+                trees: Vec::new(),
+                counters,
+                link_busy,
+                route_cache: HashMap::new(),
+                rng,
+                done: vec![None; n],
+                done_count: 0,
+                inc_arrivals: HashMap::new(),
+            },
+            apps: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Topology handle.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topo
+    }
+
+    /// Create a QP on `rank`, pinned to RX `worker`. Returns the rank-local
+    /// QP number (SPMD setups produce identical numbering on every rank).
+    pub fn add_qp(&mut self, rank: Rank, transport: Transport, worker: usize) -> QpNum {
+        let nic = &mut self.inner.nics[rank.idx()];
+        assert!(
+            worker < nic.workers.len(),
+            "worker {worker} out of range ({} workers)",
+            nic.workers.len()
+        );
+        let qpn = QpNum(nic.qps.len() as u32);
+        let depth = self.inner.cfg.host.rq_depth;
+        nic.qps.push(QpState {
+            transport,
+            worker,
+            rq_avail: depth,
+            rq_depth: depth,
+        });
+        nic.tx_queues.push(VecDeque::new());
+        nic.drain_tokens.push(Vec::new());
+        qpn
+    }
+
+    /// Create a multicast group over `members`; builds the spanning tree.
+    pub fn create_group(&mut self, members: &[Rank]) -> McastGroupId {
+        let gid = McastGroupId(self.inner.trees.len() as u32);
+        let tree = McastTree::build(&self.inner.topo, gid, members);
+        self.inner.trees.push(tree);
+        gid
+    }
+
+    /// Attach `rank`'s `qp` to `group` (receives that group's datagrams).
+    pub fn attach(&mut self, rank: Rank, qp: QpNum, group: McastGroupId) {
+        let tree = &self.inner.trees[group.0 as usize];
+        assert!(tree.is_member(rank), "{rank} is not a member of {group:?}");
+        let nic = &mut self.inner.nics[rank.idx()];
+        assert!(
+            matches!(nic.qps[qp.0 as usize].transport, Transport::Ud | Transport::Uc),
+            "only UD/UC QPs can join multicast groups"
+        );
+        nic.group_attach.insert(group, qp.0 as usize);
+    }
+
+    /// Install the protocol endpoint for `rank`.
+    pub fn set_app(&mut self, rank: Rank, app: Box<dyn RankApp<M>>) {
+        self.apps[rank.idx()] = Some(app);
+    }
+
+    /// Run to completion: starts every app, then processes events until
+    /// all ranks are done (or the queue empties / the event cap trips).
+    pub fn run(&mut self) -> RunStats {
+        let n = self.inner.num_ranks();
+        for r in 0..n {
+            self.with_app(Rank(r as u32), |app, ctx| app.on_start(ctx));
+        }
+        while self.inner.done_count < n {
+            if self.inner.q.processed() >= self.inner.cfg.max_events {
+                panic!(
+                    "event cap {} exceeded — livelocked protocol?",
+                    self.inner.cfg.max_events
+                );
+            }
+            let Some((_, ev)) = self.inner.q.pop() else {
+                break; // quiescent but not all done; caller inspects stats
+            };
+            self.dispatch(ev);
+        }
+        RunStats {
+            end_time: self.inner.q.now(),
+            events: self.inner.q.processed(),
+            per_rank_done: self.inner.done.clone(),
+        }
+    }
+
+    /// Snapshot of all link counters.
+    pub fn traffic(&self) -> TrafficReport {
+        TrafficReport::new(self.inner.counters.clone())
+    }
+
+    /// Total RNR drops across all NICs.
+    pub fn total_rnr_drops(&self) -> u64 {
+        self.inner.nics.iter().map(|n| n.rnr_drops).sum()
+    }
+
+    /// Total fabric drops across all links.
+    pub fn total_fabric_drops(&self) -> u64 {
+        self.inner.counters.iter().map(|c| c.drops).sum()
+    }
+
+    fn dispatch(&mut self, ev: Ev<M>) {
+        match ev {
+            Ev::TxKick { rank } => self.inner.handle_tx_kick(rank),
+            Ev::LinkArrive { link, pkt } => self.inner.handle_link_arrive(link, *pkt),
+            Ev::CqeDone {
+                rank,
+                cqe,
+                payload,
+                repost_qp,
+            } => {
+                if let Some(qi) = repost_qp {
+                    let qp = &mut self.inner.nics[rank.idx()].qps[qi];
+                    qp.rq_avail = (qp.rq_avail + 1).min(qp.rq_depth);
+                }
+                self.with_app(rank, |app, ctx| app.on_cqe(ctx, cqe, payload));
+            }
+            Ev::Timer { rank, token } => {
+                self.with_app(rank, |app, ctx| app.on_timer(ctx, token));
+            }
+            Ev::TxDrained { rank, token } => {
+                self.with_app(rank, |app, ctx| app.on_tx_drained(ctx, token));
+            }
+        }
+    }
+
+    fn with_app(&mut self, rank: Rank, f: impl FnOnce(&mut dyn RankApp<M>, &mut Ctx<'_, M>)) {
+        let mut app = self.apps[rank.idx()]
+            .take()
+            .unwrap_or_else(|| panic!("no app installed for {rank}"));
+        let mut ctx = Ctx {
+            inner: &mut self.inner,
+            rank,
+        };
+        f(app.as_mut(), &mut ctx);
+        self.apps[rank.idx()] = Some(app);
+    }
+}
+
+impl<M: Clone + 'static> Inner<M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.topo.num_hosts()
+    }
+
+    pub(crate) fn rnr_drops(&self, rank: Rank) -> u64 {
+        self.nics[rank.idx()].rnr_drops
+    }
+
+    pub(crate) fn set_timer(&mut self, rank: Rank, delay_ns: u64, token: u64) {
+        self.q.schedule_in(delay_ns, Ev::Timer { rank, token });
+    }
+
+    pub(crate) fn mark_done(&mut self, rank: Rank) {
+        if self.done[rank.idx()].is_none() {
+            self.done[rank.idx()] = Some(self.q.now());
+            self.done_count += 1;
+        }
+    }
+
+    pub(crate) fn notify_tx_drained(&mut self, rank: Rank, qp: QpNum, token: u64) {
+        let nic = &mut self.nics[rank.idx()];
+        let qi = qp.0 as usize;
+        if nic.tx_queues[qi].is_empty() {
+            let at = nic.tx_free_at.max(self.q.now());
+            self.q.schedule_at(at, Ev::TxDrained { rank, token });
+        } else {
+            nic.drain_tokens[qi].push(token);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the verbs post signature
+    pub(crate) fn post_mcast(
+        &mut self,
+        src: Rank,
+        qp: QpNum,
+        group: McastGroupId,
+        imm: ImmData,
+        origin: Rank,
+        psn: u32,
+        len: usize,
+    ) {
+        let tree = &self.trees[group.0 as usize];
+        assert!(tree.is_member(src), "{src} multicasts to foreign group");
+        let pkt = PacketInst {
+            header: PacketHeader {
+                src,
+                src_qp: qp,
+                dst: Destination::Multicast(group),
+                kind: PacketKind::McastData,
+                imm: Some(imm),
+                payload_len: len,
+            },
+            payload: Payload::Chunk { origin, psn },
+            route: RouteState::Mcast { group },
+            sem: ArrivalSem::TwoSided,
+            reliable: false,
+            dst_qp: QpNum(0),
+        };
+        self.enqueue_tx(src, qp, pkt);
+    }
+
+    /// Post an in-network-reduction contribution for shard chunk `psn`
+    /// owned by `owner`; the fabric's switches merge contributions up the
+    /// group's tree and deliver one result to `owner`'s `owner_qp`.
+    #[allow(clippy::too_many_arguments)] // mirrors the verbs post signature
+    pub(crate) fn post_inc(
+        &mut self,
+        src: Rank,
+        qp: QpNum,
+        group: McastGroupId,
+        imm: ImmData,
+        owner: Rank,
+        owner_qp: QpNum,
+        psn: u32,
+        len: usize,
+    ) {
+        assert!(
+            self.topo.top_level() > 0,
+            "in-network reduction needs a switched fabric"
+        );
+        let tree = &self.trees[group.0 as usize];
+        assert!(tree.is_member(src), "{src} contributes to foreign group");
+        assert_eq!(
+            tree.members().len(),
+            self.num_ranks(),
+            "in-network reduction requires full-membership groups"
+        );
+        let pkt = PacketInst {
+            header: PacketHeader {
+                src,
+                src_qp: qp,
+                dst: Destination::Multicast(group),
+                kind: PacketKind::McastData,
+                imm: Some(imm),
+                payload_len: len,
+            },
+            payload: Payload::Chunk { origin: src, psn },
+            route: RouteState::IncUp {
+                group,
+                owner,
+                owner_qp,
+            },
+            sem: ArrivalSem::TwoSided,
+            reliable: true, // SHARP runs over reliable transport
+            dst_qp: owner_qp,
+        };
+        self.enqueue_tx(src, qp, pkt);
+    }
+
+    pub(crate) fn post_msg(&mut self, src: Rank, dst: Rank, dst_qp: QpNum, msg: M, len: usize) {
+        let path = self.unicast_path(src, dst);
+        let pkt = PacketInst {
+            header: PacketHeader {
+                src,
+                src_qp: dst_qp,
+                dst: Destination::Unicast(dst, dst_qp),
+                kind: PacketKind::Control,
+                imm: None,
+                payload_len: len,
+            },
+            payload: Payload::Msg(msg),
+            route: RouteState::Unicast { path, hop: 0 },
+            sem: ArrivalSem::TwoSided,
+            reliable: true,
+            dst_qp,
+        };
+        self.enqueue_tx(src, dst_qp, pkt);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn post_unicast_chunk(
+        &mut self,
+        src: Rank,
+        dst: Rank,
+        dst_qp: QpNum,
+        imm: Option<ImmData>,
+        origin: Rank,
+        psn: u32,
+        len: usize,
+        reliable: bool,
+    ) {
+        let path = self.unicast_path(src, dst);
+        let pkt = PacketInst {
+            header: PacketHeader {
+                src,
+                src_qp: QpNum(0),
+                dst: Destination::Unicast(dst, dst_qp),
+                kind: PacketKind::UnicastData,
+                imm,
+                payload_len: len,
+            },
+            payload: Payload::Chunk { origin, psn },
+            route: RouteState::Unicast { path, hop: 0 },
+            sem: ArrivalSem::TwoSided,
+            reliable,
+            dst_qp,
+        };
+        self.enqueue_tx(src, dst_qp, pkt);
+    }
+
+    pub(crate) fn post_rdma_read(&mut self, src: Rank, qp: QpNum, dst: Rank, len: usize, tag: u64) {
+        let path = self.unicast_path(src, dst);
+        let pkt = PacketInst {
+            header: PacketHeader {
+                src,
+                src_qp: qp,
+                dst: Destination::Unicast(dst, qp),
+                kind: PacketKind::Control,
+                imm: None,
+                payload_len: 0,
+            },
+            payload: Payload::Empty,
+            route: RouteState::Unicast { path, hop: 0 },
+            sem: ArrivalSem::ReadReq {
+                resp_len: len,
+                tag,
+                req_qp: qp,
+            },
+            reliable: true,
+            dst_qp: qp,
+        };
+        self.enqueue_tx(src, qp, pkt);
+    }
+
+    fn unicast_path(&mut self, src: Rank, dst: Rank) -> Arc<[LinkId]> {
+        if self.cfg.adaptive_routing {
+            let p = routing::route(
+                &self.topo,
+                src,
+                dst,
+                RouteMode::Adaptive,
+                0,
+                &mut self.rng,
+            );
+            return p.into();
+        }
+        if let Some(p) = self.route_cache.get(&(src.0, dst.0)) {
+            return Arc::clone(p);
+        }
+        let p: Arc<[LinkId]> = routing::route(
+            &self.topo,
+            src,
+            dst,
+            RouteMode::Deterministic,
+            0,
+            &mut self.rng,
+        )
+        .into();
+        self.route_cache.insert((src.0, dst.0), Arc::clone(&p));
+        p
+    }
+
+    fn enqueue_tx(&mut self, src: Rank, qp: QpNum, pkt: PacketInst<M>) {
+        let nic = &mut self.nics[src.idx()];
+        nic.tx_queues[qp.0 as usize].push_back(pkt);
+        if !nic.kick_scheduled {
+            nic.kick_scheduled = true;
+            let at = nic.tx_free_at.max(self.q.now());
+            self.q.schedule_at(at, Ev::TxKick { rank: src });
+        }
+    }
+
+    /// Round-robin QP arbitration: pick the next non-empty send queue.
+    fn tx_pick(nic: &mut NicState<M>) -> Option<(usize, PacketInst<M>)> {
+        let n = nic.tx_queues.len();
+        for i in 0..n {
+            let qi = (nic.tx_rr + i) % n;
+            if let Some(pkt) = nic.tx_queues[qi].pop_front() {
+                nic.tx_rr = (qi + 1) % n;
+                return Some((qi, pkt));
+            }
+        }
+        None
+    }
+
+    fn handle_tx_kick(&mut self, rank: Rank) {
+        let now = self.q.now();
+        let nic = &mut self.nics[rank.idx()];
+        nic.kick_scheduled = false;
+        let Some((qi, mut pkt)) = Self::tx_pick(nic) else {
+            return;
+        };
+        let uplink = nic.uplink;
+        let link = *self.topo.link(uplink);
+        let ser = link.rate.serialization_ns(pkt.header.wire_bytes());
+        let start = now.max(self.link_busy[uplink.idx()]);
+        let tx_gap = ser.max(self.cfg.host.tx_post_overhead_ns);
+        self.link_busy[uplink.idx()] = start + ser;
+        let free_at = start + tx_gap;
+        let nic = &mut self.nics[rank.idx()];
+        nic.tx_free_at = free_at;
+        // First-hop bookkeeping for unicast routes: path[0] *is* the uplink.
+        if let RouteState::Unicast { path, hop } = &mut pkt.route {
+            debug_assert_eq!(path[0], uplink, "route does not start at the NIC port");
+            *hop = 1;
+        }
+        let survived = self.count_and_maybe_drop(uplink, &pkt);
+        if survived {
+            self.q.schedule_at(
+                start + ser + link.prop_delay_ns,
+                Ev::LinkArrive {
+                    link: uplink,
+                    pkt: Box::new(pkt),
+                },
+            );
+        }
+        let nic = &mut self.nics[rank.idx()];
+        if nic.tx_queues[qi].is_empty() {
+            for token in std::mem::take(&mut nic.drain_tokens[qi]) {
+                self.q.schedule_at(free_at, Ev::TxDrained { rank, token });
+            }
+        }
+        if nic.tx_queues.iter().any(|q| !q.is_empty()) {
+            nic.kick_scheduled = true;
+            self.q.schedule_at(free_at, Ev::TxKick { rank });
+        }
+    }
+
+    /// Record traffic on `link`; returns false if the packet copy was
+    /// corrupted there (fabric drop).
+    fn count_and_maybe_drop(&mut self, link: LinkId, pkt: &PacketInst<M>) -> bool {
+        let c = &mut self.counters[link.idx()];
+        c.packets += 1;
+        c.wire_bytes += pkt.header.wire_bytes() as u64;
+        match pkt.header.kind {
+            PacketKind::Control => c.ctrl_bytes += pkt.header.payload_len as u64,
+            _ => c.data_bytes += pkt.header.payload_len as u64,
+        }
+        if !pkt.reliable && self.cfg.drops.fabric_drop_prob > 0.0 {
+            let p = self.cfg.drops.fabric_drop_prob;
+            if self.rng.random_bool(p) {
+                self.counters[link.idx()].drops += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    fn handle_link_arrive(&mut self, in_link: LinkId, pkt: PacketInst<M>) {
+        let node = self.topo.link(in_link).dst;
+        match self.topo.kind(node) {
+            NodeKind::Switch { .. } => self.forward_at_switch(node, in_link, pkt),
+            NodeKind::Host(rank) => self.deliver_at_host(rank, in_link, pkt),
+        }
+    }
+
+    fn forward_at_switch(&mut self, node: NodeId, in_link: LinkId, pkt: PacketInst<M>) {
+        let now = self.q.now();
+        let outs: Vec<LinkId> = match &pkt.route {
+            RouteState::Unicast { path, hop } => {
+                debug_assert!(*hop < path.len(), "unicast route exhausted at a switch");
+                vec![path[*hop]]
+            }
+            RouteState::Mcast { group } => {
+                self.trees[group.0 as usize].out_links(&self.topo, node, Some(in_link))
+            }
+            RouteState::IncUp {
+                group,
+                owner,
+                owner_qp,
+            } => {
+                return self.reduce_at_switch(node, pkt.clone(), *group, *owner, *owner_qp);
+            }
+        };
+        let n_out = outs.len();
+        for (i, out) in outs.into_iter().enumerate() {
+            let mut copy = if i + 1 == n_out {
+                // Move the original into the last branch to avoid a clone.
+                None
+            } else {
+                Some(pkt.clone())
+            };
+            let p = copy.take().unwrap_or_else(|| pkt.clone());
+            self.transmit_hop(out, p, now);
+        }
+    }
+
+    /// SHARP-style switch behaviour: absorb contributions for
+    /// `(group, psn)` until every child branch with contributors has
+    /// reported, then forward one merged packet toward the root — or,
+    /// at the root, route the reduced shard down to its owner.
+    fn reduce_at_switch(
+        &mut self,
+        node: NodeId,
+        pkt: PacketInst<M>,
+        group: McastGroupId,
+        owner: Rank,
+        owner_qp: QpNum,
+    ) {
+        let now = self.q.now();
+        let psn = match pkt.payload {
+            Payload::Chunk { psn, .. } => psn,
+            _ => unreachable!("INC packet without chunk payload"),
+        };
+        let tree = &self.trees[group.0 as usize];
+        // Expected = child branches containing at least one contributor
+        // (every rank except the shard owner contributes).
+        let mut expected = 0u32;
+        for cl in tree.child_links(node) {
+            let child = self.topo.link(cl).dst;
+            let contributors = match self.topo.kind(child) {
+                NodeKind::Host(r) => (r != owner) as u32,
+                NodeKind::Switch { .. } => {
+                    let range = self.topo.host_range(child);
+                    range.len() as u32 - range.contains(&owner.0) as u32
+                }
+            };
+            expected += (contributors > 0) as u32;
+        }
+        debug_assert!(expected > 0, "reduction node with no contributors");
+        let key = (group.0, psn, node);
+        let cnt = self.inc_arrivals.entry(key).or_insert(0);
+        *cnt += 1;
+        if *cnt < expected {
+            return; // absorbed into the partial reduction
+        }
+        self.inc_arrivals.remove(&key);
+        let tree = &self.trees[group.0 as usize];
+        match tree.parent_link(node) {
+            Some(up) => {
+                // One merged packet continues toward the root.
+                self.transmit_hop(up, pkt, now);
+            }
+            None => {
+                // Root: route the reduced shard down to its owner.
+                let path: Arc<[LinkId]> = descend(&self.topo, node, owner, psn as u64).into();
+                let first = path[0];
+                let down = PacketInst {
+                    header: PacketHeader {
+                        dst: Destination::Unicast(owner, owner_qp),
+                        kind: PacketKind::UnicastData,
+                        ..pkt.header
+                    },
+                    payload: pkt.payload,
+                    route: RouteState::Unicast { path, hop: 0 },
+                    sem: ArrivalSem::TwoSided,
+                    reliable: true,
+                    dst_qp: owner_qp,
+                };
+                self.transmit_hop(first, down, now);
+            }
+        }
+    }
+
+    fn transmit_hop(&mut self, out: LinkId, mut pkt: PacketInst<M>, now: SimTime) {
+        let link = *self.topo.link(out);
+        let ser = link.rate.serialization_ns(pkt.header.wire_bytes());
+        let start = (now + self.cfg.switch_latency_ns).max(self.link_busy[out.idx()]);
+        self.link_busy[out.idx()] = start + ser;
+        if let RouteState::Unicast { hop, .. } = &mut pkt.route {
+            *hop += 1;
+        }
+        if self.count_and_maybe_drop(out, &pkt) {
+            self.q.schedule_at(
+                start + ser + link.prop_delay_ns,
+                Ev::LinkArrive {
+                    link: out,
+                    pkt: Box::new(pkt),
+                },
+            );
+        }
+    }
+
+    fn deliver_at_host(&mut self, rank: Rank, in_link: LinkId, pkt: PacketInst<M>) {
+        match pkt.sem {
+            ArrivalSem::ReadReq {
+                resp_len,
+                tag,
+                req_qp,
+            } => {
+                // Target NIC hardware answers; no CPU involvement (RC
+                // one-sided semantics).
+                let requester = pkt.header.src;
+                let path = self.unicast_path(rank, requester);
+                let resp = PacketInst {
+                    header: PacketHeader {
+                        src: rank,
+                        src_qp: QpNum(0),
+                        dst: Destination::Unicast(requester, req_qp),
+                        kind: PacketKind::UnicastData,
+                        imm: None,
+                        payload_len: resp_len,
+                    },
+                    payload: Payload::Empty,
+                    route: RouteState::Unicast { path, hop: 0 },
+                    sem: ArrivalSem::ReadResp { tag, req_qp },
+                    reliable: true,
+                    dst_qp: req_qp,
+                };
+                self.enqueue_tx(rank, req_qp, resp);
+            }
+            ArrivalSem::ReadResp { tag, req_qp } => {
+                let cqe = Cqe {
+                    opcode: CqeOpcode::RdmaReadDone,
+                    status: CompletionStatus::Success,
+                    qp: req_qp,
+                    imm: None,
+                    byte_len: pkt.header.payload_len,
+                    wr_id: tag,
+                    src: Some(pkt.header.src),
+                };
+                self.schedule_cqe(rank, req_qp.0 as usize, cqe, Payload::Empty, false);
+            }
+            ArrivalSem::TwoSided => self.deliver_two_sided(rank, in_link, pkt),
+        }
+    }
+
+    fn deliver_two_sided(&mut self, rank: Rank, _in_link: LinkId, pkt: PacketInst<M>) {
+        // Resolve the receiving QP.
+        let qp_idx = match (&pkt.route, &pkt.header.dst) {
+            (RouteState::IncUp { .. }, _) => {
+                unreachable!("reduction contribution delivered to a host")
+            }
+            (RouteState::Mcast { group }, _) => {
+                match self.nics[rank.idx()].group_attach.get(group) {
+                    Some(&qi) => qi,
+                    // Hosts on the tree but not attached (e.g. sender's own
+                    // copy in degenerate trees) silently discard.
+                    None => return,
+                }
+            }
+            (_, Destination::Unicast(_, qp)) => qp.0 as usize,
+            _ => unreachable!("unicast route with multicast destination"),
+        };
+
+        // Forced drop injection (origin, psn, dst) for multicast data.
+        if pkt.header.kind == PacketKind::McastData {
+            if let Payload::Chunk { origin, psn } = pkt.payload {
+                if self
+                    .cfg
+                    .drops
+                    .forced
+                    .contains(&(origin.0, psn, rank.0))
+                {
+                    // Account as a drop on the final delivery link.
+                    self.counters[_in_link.idx()].drops += 1;
+                    return;
+                }
+            }
+        }
+
+        let opcode = CqeOpcode::Recv;
+        let needs_slot = !pkt.reliable;
+        if needs_slot {
+            let qp = &mut self.nics[rank.idx()].qps[qp_idx];
+            if qp.rq_avail == 0 {
+                self.nics[rank.idx()].rnr_drops += 1;
+                return;
+            }
+            qp.rq_avail -= 1;
+        }
+        let cqe = Cqe {
+            opcode,
+            status: CompletionStatus::Success,
+            qp: QpNum(qp_idx as u32),
+            imm: pkt.header.imm,
+            byte_len: pkt.header.payload_len,
+            wr_id: 0,
+            src: Some(pkt.header.src),
+        };
+        self.schedule_cqe(rank, qp_idx, cqe, pkt.payload, needs_slot);
+    }
+
+    fn schedule_cqe(
+        &mut self,
+        rank: Rank,
+        qp_idx: usize,
+        cqe: Cqe,
+        payload: Payload<M>,
+        repost: bool,
+    ) {
+        let now = self.q.now();
+        let nic = &mut self.nics[rank.idx()];
+        let worker = nic.qps.get(qp_idx).map(|q| q.worker).unwrap_or(0);
+        let visible = now + self.cfg.host.rx_cqe_dma_ns;
+        let start = visible.max(nic.workers[worker]);
+        let done = start + self.cfg.host.rx_proc_ns_per_cqe;
+        nic.workers[worker] = done;
+        self.q.schedule_at(
+            done,
+            Ev::CqeDone {
+                rank,
+                cqe,
+                payload,
+                repost_qp: repost.then_some(qp_idx),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DropModel;
+    use mcag_verbs::LinkRate;
+
+    type Msg = u64;
+
+    /// Sends `n` multicast chunks from rank 0; leaves count receptions and
+    /// mark done when they saw all of them. Rank 0 marks done on TX drain.
+    struct BcastApp {
+        qp: QpNum,
+        group: McastGroupId,
+        n: u32,
+        len: usize,
+        got: u32,
+    }
+
+    impl RankApp<Msg> for BcastApp {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            if ctx.rank() == Rank(0) {
+                for psn in 0..self.n {
+                    ctx.post_mcast_chunk(self.qp, self.group, ImmData(psn), Rank(0), psn, self.len);
+                }
+                ctx.notify_tx_drained(self.qp, 0);
+            } else if self.n == 0 {
+                ctx.mark_done();
+            }
+        }
+
+        fn on_cqe(&mut self, ctx: &mut Ctx<'_, Msg>, cqe: Cqe, _payload: Payload<Msg>) {
+            assert!(cqe.is_recv_success());
+            self.got += 1;
+            if self.got == self.n {
+                ctx.mark_done();
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _token: u64) {}
+
+        fn on_tx_drained(&mut self, ctx: &mut Ctx<'_, Msg>, _token: u64) {
+            ctx.mark_done();
+        }
+    }
+
+    fn bcast_fabric(
+        n_ranks: usize,
+        chunks: u32,
+        cfg: FabricConfig,
+    ) -> (Fabric<Msg>, McastGroupId) {
+        let topo = Topology::single_switch(n_ranks, LinkRate::CX3_56G, 100);
+        let mut fab: Fabric<Msg> = Fabric::new(topo, cfg);
+        let members: Vec<Rank> = (0..n_ranks as u32).map(Rank).collect();
+        let group = fab.create_group(&members);
+        for &r in &members {
+            let qp = fab.add_qp(r, Transport::Ud, 0);
+            fab.attach(r, qp, group);
+            fab.set_app(
+                r,
+                Box::new(BcastApp {
+                    qp,
+                    group,
+                    n: chunks,
+                    len: 4096,
+                    got: 0,
+                }),
+            );
+        }
+        (fab, group)
+    }
+
+    #[test]
+    fn broadcast_delivers_to_all_leaves() {
+        let (mut fab, _) = bcast_fabric(8, 16, FabricConfig::ideal());
+        let stats = fab.run();
+        assert!(stats.all_done(), "stats: {stats:?}");
+        assert_eq!(fab.total_rnr_drops(), 0);
+        assert_eq!(fab.total_fabric_drops(), 0);
+    }
+
+    #[test]
+    fn broadcast_traffic_is_bandwidth_optimal() {
+        // Each of the 16 chunks (4 KiB payload) must cross each link at
+        // most once: per-link data bytes <= 64 KiB.
+        let (mut fab, _) = bcast_fabric(8, 16, FabricConfig::ideal());
+        fab.run();
+        let report = fab.traffic();
+        let payload_total = 16 * 4096u64;
+        assert_eq!(report.max_link_data_bytes(), payload_total);
+        // Exactly: uplink of rank 0 once, downlinks to 7 leaves once.
+        assert_eq!(report.total_data_bytes(), payload_total * 8);
+    }
+
+    #[test]
+    fn broadcast_timing_is_serialization_bound() {
+        let cfg = FabricConfig::ideal();
+        let (mut fab, _) = bcast_fabric(4, 64, cfg);
+        let stats = fab.run();
+        // 64 chunks of (4096+64)B at 7 B/ns ≈ 38 us end-to-end minimum,
+        // two hops. Loose sanity bounds.
+        let t = stats.max_done().unwrap().as_ns();
+        let wire = LinkRate::CX3_56G.serialization_ns(4096 + 64) * 64;
+        assert!(t >= wire, "t={t} < wire={wire}");
+        assert!(t < wire * 3, "t={t} suspiciously slow vs {wire}");
+    }
+
+    #[test]
+    fn full_drop_probability_kills_all_datagrams() {
+        let mut cfg = FabricConfig::ideal();
+        cfg.drops = DropModel::uniform(1.0);
+        let (mut fab, _) = bcast_fabric(4, 4, cfg);
+        let stats = fab.run();
+        // Leaves never finish; only the root (tx-drain) completes.
+        assert!(!stats.all_done());
+        assert_eq!(
+            stats.per_rank_done.iter().flatten().count(),
+            1,
+            "only root done"
+        );
+        assert!(fab.total_fabric_drops() > 0);
+    }
+
+    #[test]
+    fn forced_drop_hits_exactly_one_receiver() {
+        let mut cfg = FabricConfig::ideal();
+        cfg.drops.forced.insert((0, 2, 3)); // origin 0, psn 2, dst rank 3
+        let (mut fab, _) = bcast_fabric(4, 4, cfg);
+        let stats = fab.run();
+        assert!(!stats.all_done());
+        let unfinished: Vec<usize> = stats
+            .per_rank_done
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unfinished, vec![3]);
+    }
+
+    #[test]
+    fn rnr_drops_under_rq_exhaustion() {
+        let mut cfg = FabricConfig::ideal();
+        cfg.host.rq_depth = 4;
+        cfg.host.rx_proc_ns_per_cqe = 100_000; // absurdly slow worker
+        let (mut fab, _) = bcast_fabric(3, 64, cfg);
+        let stats = fab.run();
+        assert!(!stats.all_done());
+        assert!(fab.total_rnr_drops() > 0, "expected RNR drops");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let (mut f1, _) = bcast_fabric(8, 32, FabricConfig::ucc_default());
+        let (mut f2, _) = bcast_fabric(8, 32, FabricConfig::ucc_default());
+        let s1 = f1.run();
+        let s2 = f2.run();
+        assert_eq!(s1.per_rank_done, s2.per_rank_done);
+        assert_eq!(s1.events, s2.events);
+    }
+
+    /// Ping-pong over control messages + one RDMA read.
+    struct PingPong {
+        peer: Rank,
+        hops_left: u32,
+        read_done: bool,
+    }
+
+    impl RankApp<Msg> for PingPong {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            if ctx.rank() == Rank(0) {
+                ctx.post_msg(self.peer, QpNum(0), 1, 64);
+            }
+        }
+
+        fn on_cqe(&mut self, ctx: &mut Ctx<'_, Msg>, cqe: Cqe, payload: Payload<Msg>) {
+            match cqe.opcode {
+                CqeOpcode::Recv => {
+                    let Payload::Msg(v) = payload else {
+                        panic!("expected message")
+                    };
+                    if self.hops_left > 0 {
+                        self.hops_left -= 1;
+                        ctx.post_msg(self.peer, QpNum(0), v + 1, 64);
+                    } else if ctx.rank() == Rank(0) {
+                        // Finish with a read of 8 KiB from the peer.
+                        ctx.post_rdma_read(QpNum(0), self.peer, 8192, 0xfe7c);
+                    } else {
+                        // Final reply lets rank 0 drain its own count.
+                        ctx.post_msg(self.peer, QpNum(0), v + 1, 64);
+                        ctx.mark_done();
+                    }
+                }
+                CqeOpcode::RdmaReadDone => {
+                    assert_eq!(cqe.wr_id, 0xfe7c);
+                    assert_eq!(cqe.byte_len, 8192);
+                    self.read_done = true;
+                    ctx.mark_done();
+                }
+                _ => panic!("unexpected opcode"),
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _token: u64) {}
+    }
+
+    #[test]
+    fn control_messages_and_rdma_read_roundtrip() {
+        let topo = Topology::back_to_back(LinkRate::CX7_200G, 50);
+        let mut fab: Fabric<Msg> = Fabric::new(topo, FabricConfig::ideal());
+        for r in [Rank(0), Rank(1)] {
+            fab.add_qp(r, Transport::Rc, 0);
+            fab.set_app(
+                r,
+                Box::new(PingPong {
+                    peer: if r == Rank(0) { Rank(1) } else { Rank(0) },
+                    hops_left: 4,
+                    read_done: false,
+                }),
+            );
+        }
+        let stats = fab.run();
+        assert!(stats.all_done());
+        // Mark-done of rank 1 happens before rank 0's read completes.
+        let d0 = stats.per_rank_done[0].unwrap();
+        let d1 = stats.per_rank_done[1].unwrap();
+        assert!(d0 > d1);
+    }
+
+    /// App that arms a timer and records the fire time.
+    struct TimerApp {
+        fired_at: Option<SimTime>,
+    }
+
+    impl RankApp<Msg> for TimerApp {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            if ctx.rank() == Rank(0) {
+                ctx.set_timer(12_345, 7);
+            } else {
+                ctx.mark_done();
+            }
+        }
+        fn on_cqe(&mut self, _ctx: &mut Ctx<'_, Msg>, _cqe: Cqe, _p: Payload<Msg>) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+            assert_eq!(token, 7);
+            self.fired_at = Some(ctx.now());
+            ctx.mark_done();
+        }
+    }
+
+    #[test]
+    fn timers_fire_on_schedule() {
+        let topo = Topology::back_to_back(LinkRate::CX7_200G, 50);
+        let mut fab: Fabric<Msg> = Fabric::new(topo, FabricConfig::ideal());
+        fab.add_qp(Rank(0), Transport::Rc, 0);
+        fab.add_qp(Rank(1), Transport::Rc, 0);
+        fab.set_app(Rank(0), Box::new(TimerApp { fired_at: None }));
+        fab.set_app(Rank(1), Box::new(TimerApp { fired_at: None }));
+        let stats = fab.run();
+        assert_eq!(stats.per_rank_done[0], Some(SimTime(12_345)));
+    }
+
+    #[test]
+    fn worker_serialization_delays_cqes() {
+        // With one worker and a large per-CQE cost, completion times are
+        // paced by the worker, not the wire.
+        let mut cfg = FabricConfig::ideal();
+        cfg.host.rx_proc_ns_per_cqe = 1000;
+        let (mut fab, _) = bcast_fabric(2, 32, cfg);
+        let stats = fab.run();
+        let done = stats.per_rank_done[1].unwrap().as_ns();
+        assert!(done >= 32 * 1000, "worker pacing not applied: {done}");
+    }
+}

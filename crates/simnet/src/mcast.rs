@@ -1,0 +1,369 @@
+//! Hardware multicast groups as switch-level spanning trees.
+//!
+//! In InfiniBand, the subnet manager computes one spanning tree per
+//! multicast group (MGID); any attached endpoint may inject, and switches
+//! replicate the packet along every tree branch except the one it arrived
+//! on. We reproduce exactly that: [`McastTree::build`] roots the tree at a
+//! deterministic top-level switch and takes the union of the unique
+//! down-paths to every member — a tree, because down-paths in a fat-tree
+//! are unique. Flooding from any entry point therefore visits every tree
+//! edge **at most once**, which is the paper's bandwidth-optimality
+//! property ("the send buffer from any participant will be moved through
+//! any link in the network once", Insight 1).
+
+use crate::routing::mix64;
+use crate::topology::{LinkId, NodeId, NodeKind, Topology};
+use mcag_verbs::{McastGroupId, Rank};
+use std::collections::{HashMap, HashSet};
+
+/// A multicast group realized as a spanning tree over the fabric.
+#[derive(Debug, Clone)]
+pub struct McastTree {
+    group: McastGroupId,
+    members: Vec<Rank>,
+    member_set: HashSet<Rank>,
+    /// For every node on the tree, the directed links leaving it along
+    /// tree edges (both "up" and "down" directions are present, since a
+    /// packet entering mid-tree must also climb toward the root).
+    adj: HashMap<NodeId, Vec<LinkId>>,
+    /// Number of undirected tree edges.
+    edges: usize,
+    /// Tree root (the switch the subnet manager rooted the group at, or
+    /// a host for switchless topologies).
+    root: NodeId,
+    /// Directed link from each non-root tree node toward its parent.
+    parent_link: HashMap<NodeId, LinkId>,
+}
+
+impl McastTree {
+    /// Build the spanning tree for `members` of `group`.
+    ///
+    /// The tree root is a top-level switch chosen by hashing the group id,
+    /// mirroring how a subnet manager balances distinct MGIDs over spines —
+    /// this is what spreads the paper's multicast *subgroups* (packet
+    /// parallelism) over different core switches. For the back-to-back
+    /// topology (no switches), the tree degenerates to the single cable.
+    pub fn build(topo: &Topology, group: McastGroupId, members: &[Rank]) -> McastTree {
+        assert!(members.len() >= 2, "multicast group needs ≥ 2 members");
+        let member_set: HashSet<Rank> = members.iter().copied().collect();
+        assert_eq!(member_set.len(), members.len(), "duplicate members");
+
+        let mut adj: HashMap<NodeId, Vec<LinkId>> = HashMap::new();
+        let mut undirected: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut add_edge = |topo: &Topology, down_link: LinkId, adj: &mut HashMap<NodeId, Vec<LinkId>>| {
+            let l = topo.link(down_link);
+            let key = (l.src.min(l.dst), l.src.max(l.dst));
+            if undirected.insert(key) {
+                adj.entry(l.src).or_default().push(down_link);
+                adj.entry(l.dst).or_default().push(topo.reverse(down_link));
+                true
+            } else {
+                false
+            }
+        };
+
+        let mut edges = 0usize;
+        let top = topo.top_level();
+        let root;
+        if top == 0 {
+            // Back-to-back: the "tree" is the host-to-host cable.
+            let h = topo.host_node(members[0]);
+            root = h;
+            let l = topo.uplinks(h)[0];
+            add_edge(topo, l, &mut adj);
+            edges += 1;
+        } else {
+            let tops = topo.switches_at_level(top);
+            root = tops[(mix64(group.0 as u64) % tops.len() as u64) as usize];
+            for &m in members {
+                // Unique down-path from root to member; among parallel
+                // rails pick by (group, member) hash so distinct subgroups
+                // spread over rails.
+                let mut at = root;
+                while !matches!(topo.kind(at), NodeKind::Host(r) if r == m) {
+                    let downs = topo.down_toward(at, m);
+                    assert!(!downs.is_empty(), "no down-path from {at:?} to {m}");
+                    let pick = (mix64((group.0 as u64) << 32 | m.0 as u64) % downs.len() as u64)
+                        as usize;
+                    let l = downs[pick];
+                    if add_edge(topo, l, &mut adj) {
+                        edges += 1;
+                    }
+                    at = topo.link(l).dst;
+                }
+            }
+        }
+
+        // Orient the tree: BFS from the root records each node's link
+        // toward its parent (used by in-network reduction, which flows
+        // *up* the same tree multicast floods down).
+        let mut parent_link = HashMap::new();
+        let mut frontier = vec![(root, None::<LinkId>)];
+        while let Some((node, in_link)) = frontier.pop() {
+            if let Some(links) = adj.get(&node) {
+                let back = in_link.map(|l| topo.reverse(l));
+                for &l in links {
+                    if Some(l) == back {
+                        continue;
+                    }
+                    let child = topo.link(l).dst;
+                    parent_link.insert(child, topo.reverse(l));
+                    frontier.push((child, Some(l)));
+                }
+            }
+        }
+
+        McastTree {
+            group,
+            members: members.to_vec(),
+            member_set,
+            adj,
+            edges,
+            root,
+            parent_link,
+        }
+    }
+
+    /// Group id.
+    pub fn group(&self) -> McastGroupId {
+        self.group
+    }
+
+    /// Members in attach order.
+    pub fn members(&self) -> &[Rank] {
+        &self.members
+    }
+
+    /// Is `rank` attached?
+    pub fn is_member(&self, rank: Rank) -> bool {
+        self.member_set.contains(&rank)
+    }
+
+    /// Number of undirected tree edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Directed links on which a switch (or entry host) must replicate a
+    /// packet that arrived at `node` via `in_link` (`None` when the packet
+    /// is injected locally by the node itself).
+    pub fn out_links(&self, topo: &Topology, node: NodeId, in_link: Option<LinkId>) -> Vec<LinkId> {
+        let Some(links) = self.adj.get(&node) else {
+            return Vec::new();
+        };
+        let back = in_link.map(|l| topo.reverse(l));
+        links
+            .iter()
+            .copied()
+            .filter(|&l| Some(l) != back)
+            .collect()
+    }
+
+    /// All tree nodes (for invariant checks).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj.keys().copied()
+    }
+
+    /// Tree root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Directed link from `node` toward its tree parent (`None` at the
+    /// root) — the up-direction used by in-network reduction.
+    pub fn parent_link(&self, node: NodeId) -> Option<LinkId> {
+        self.parent_link.get(&node).copied()
+    }
+
+    /// Directed links from `node` to its tree children (everything in the
+    /// tree adjacency except the link toward the parent).
+    pub fn child_links(&self, node: NodeId) -> Vec<LinkId> {
+        let Some(links) = self.adj.get(&node) else {
+            return Vec::new();
+        };
+        let up = self.parent_link.get(&node).copied();
+        links.iter().copied().filter(|&l| Some(l) != up).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcag_verbs::LinkRate;
+
+    fn all_ranks(n: u32) -> Vec<Rank> {
+        (0..n).map(Rank).collect()
+    }
+
+    /// Flood from `entry` and return every (node, arrival link) visited.
+    fn flood(topo: &Topology, tree: &McastTree, entry: Rank) -> Vec<(NodeId, LinkId)> {
+        let mut seen_links = HashSet::new();
+        let mut out = Vec::new();
+        let start = topo.host_node(entry);
+        let mut frontier = vec![(start, None::<LinkId>)];
+        while let Some((node, in_link)) = frontier.pop() {
+            for l in tree.out_links(topo, node, in_link) {
+                assert!(seen_links.insert(l), "link {l:?} traversed twice in flood");
+                let dst = topo.link(l).dst;
+                out.push((dst, l));
+                frontier.push((dst, Some(l)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn star_tree_spans_all_members() {
+        let topo = Topology::single_switch(6, LinkRate::CX3_56G, 100);
+        let tree = McastTree::build(&topo, McastGroupId(0), &all_ranks(6));
+        assert_eq!(tree.num_edges(), 6); // one edge per host
+        let visits = flood(&topo, &tree, Rank(2));
+        let hosts: HashSet<Rank> = visits
+            .iter()
+            .filter_map(|(n, _)| match topo.kind(*n) {
+                NodeKind::Host(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        // Every member except the sender receives exactly one copy.
+        assert_eq!(hosts.len(), 5);
+        assert!(!hosts.contains(&Rank(2)));
+    }
+
+    #[test]
+    fn ucc_tree_reaches_every_member_once() {
+        let topo = Topology::ucc_testbed();
+        let members = all_ranks(188);
+        let tree = McastTree::build(&topo, McastGroupId(3), &members);
+        for entry in [Rank(0), Rank(91), Rank(187)] {
+            let visits = flood(&topo, &tree, entry);
+            let mut host_hits: HashMap<Rank, usize> = HashMap::new();
+            for (n, _) in &visits {
+                if let NodeKind::Host(r) = topo.kind(*n) {
+                    *host_hits.entry(r).or_default() += 1;
+                }
+            }
+            assert_eq!(host_hits.len(), 187, "entry {entry}");
+            for (&r, &hits) in &host_hits {
+                assert_eq!(hits, 1, "rank {r} got {hits} copies");
+                assert_ne!(r, entry);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_edge_count_is_minimal() {
+        // A spanning tree over m hosts + s internal switches has exactly
+        // (m + s_used - 1) edges; flood visits each edge once, so the edge
+        // count bounds the per-broadcast traffic: this *is* bandwidth
+        // optimality at the structural level.
+        let topo = Topology::ucc_testbed();
+        let tree = McastTree::build(&topo, McastGroupId(0), &all_ranks(188));
+        let n_nodes = tree.nodes().count();
+        assert_eq!(tree.num_edges(), n_nodes - 1, "not a tree");
+    }
+
+    #[test]
+    fn three_level_tree_spans_pods() {
+        let topo = Topology::fat_tree_three_level(2, 2, 2, 2, 2, LinkRate::CX3_56G, 100);
+        let tree = McastTree::build(&topo, McastGroupId(1), &all_ranks(8));
+        let visits = flood(&topo, &tree, Rank(7));
+        let hosts: HashSet<_> = visits
+            .iter()
+            .filter_map(|(n, _)| match topo.kind(*n) {
+                NodeKind::Host(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hosts.len(), 7);
+    }
+
+    #[test]
+    fn distinct_groups_use_distinct_roots() {
+        let topo = Topology::ucc_testbed();
+        let members = all_ranks(188);
+        let trees: Vec<_> = (0..4)
+            .map(|g| McastTree::build(&topo, McastGroupId(g), &members))
+            .collect();
+        // Not all four subgroup trees should share an identical edge set —
+        // the whole point of subgroup replication is spreading load.
+        let edge_sets: HashSet<Vec<usize>> = trees
+            .iter()
+            .map(|t| {
+                let mut e: Vec<usize> = t
+                    .adj
+                    .values()
+                    .flatten()
+                    .map(|l| l.idx().min(topo.reverse(*l).idx()))
+                    .collect();
+                e.sort_unstable();
+                e.dedup();
+                e
+            })
+            .collect();
+        assert!(edge_sets.len() > 1, "all subgroup trees identical");
+    }
+
+    #[test]
+    fn partial_membership_tree() {
+        let topo = Topology::ucc_testbed();
+        let members: Vec<Rank> = (0..188).step_by(4).map(Rank).collect();
+        let tree = McastTree::build(&topo, McastGroupId(9), &members);
+        let visits = flood(&topo, &tree, members[0]);
+        let hosts: HashSet<_> = visits
+            .iter()
+            .filter_map(|(n, _)| match topo.kind(*n) {
+                NodeKind::Host(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hosts.len(), members.len() - 1);
+        for h in &hosts {
+            assert!(tree.is_member(*h), "non-member {h} received traffic");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 2 members")]
+    fn tiny_group_rejected() {
+        let topo = Topology::single_switch(4, LinkRate::CX3_56G, 100);
+        McastTree::build(&topo, McastGroupId(0), &[Rank(0)]);
+    }
+
+    #[test]
+    fn orientation_covers_all_nodes() {
+        let topo = Topology::ucc_testbed();
+        let tree = McastTree::build(&topo, McastGroupId(2), &all_ranks(188));
+        let root = tree.root();
+        assert!(tree.parent_link(root).is_none());
+        // Every non-root tree node has a parent link pointing along a
+        // tree edge, and following parents reaches the root.
+        for n in tree.nodes() {
+            if n == root {
+                continue;
+            }
+            let mut at = n;
+            let mut hops = 0;
+            while at != root {
+                let l = tree.parent_link(at).expect("orphan tree node");
+                assert_eq!(topo.link(l).src, at);
+                at = topo.link(l).dst;
+                hops += 1;
+                assert!(hops < 10, "orientation loop");
+            }
+        }
+    }
+
+    #[test]
+    fn children_partition_tree_degree() {
+        let topo = Topology::single_switch(5, LinkRate::CX3_56G, 100);
+        let tree = McastTree::build(&topo, McastGroupId(0), &all_ranks(5));
+        let sw = tree.root(); // single switch is the root
+        assert_eq!(tree.child_links(sw).len(), 5);
+        for r in 0..5 {
+            let h = topo.host_node(Rank(r));
+            assert!(tree.child_links(h).is_empty(), "hosts are leaves");
+            assert!(tree.parent_link(h).is_some());
+        }
+    }
+}

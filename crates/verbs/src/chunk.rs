@@ -1,0 +1,191 @@
+//! Zero-copy buffer fragmentation: the Broadcast-root send datapath.
+//!
+//! "The root process performs the fragmentation of the send buffer. It
+//! chunks up the user send buffer into MTU-sized datagrams [...] Each
+//! buffer chunk is associated with a packet sequence number (PSN) that
+//! enumerates the chunk within the send buffer" (Section III-A).
+//!
+//! [`Chunker`] produces `(PSN, byte range, ImmData)` triples without
+//! touching the payload: fabrics that move real bytes slice the user
+//! buffer with the returned range, and the DES fabric ships descriptors.
+
+use crate::imm::{ImmData, ImmLayout};
+use crate::mtu::Mtu;
+use crate::types::CollectiveId;
+
+/// Fragmentation plan for one send buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunker {
+    mtu: Mtu,
+    layout: ImmLayout,
+    coll: CollectiveId,
+    buf_len: usize,
+}
+
+/// One planned datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedChunk {
+    /// Packet sequence number (chunk index within the buffer).
+    pub psn: u32,
+    /// Byte offset of the chunk in the send buffer.
+    pub offset: usize,
+    /// Chunk length (equal to MTU except possibly the last chunk).
+    pub len: usize,
+    /// Packed immediate value to stamp on the datagram.
+    pub imm: ImmData,
+}
+
+impl Chunker {
+    /// Plan fragmentation of a `buf_len`-byte buffer.
+    ///
+    /// # Panics
+    /// If the buffer needs more chunks than the PSN bit budget can
+    /// enumerate — Figure 7's constraint made explicit.
+    pub fn new(buf_len: usize, mtu: Mtu, layout: ImmLayout, coll: CollectiveId) -> Chunker {
+        let n = mtu.chunks_for(buf_len) as u64;
+        assert!(
+            n <= layout.addressable_chunks(),
+            "buffer of {buf_len} B needs {n} chunks but PSN field addresses only {} \
+             (increase psn_bits or MTU)",
+            layout.addressable_chunks()
+        );
+        Chunker {
+            mtu,
+            layout,
+            coll,
+            buf_len,
+        }
+    }
+
+    /// Number of datagrams this buffer fragments into.
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.mtu.chunks_for(self.buf_len)
+    }
+
+    /// Buffer length being fragmented.
+    #[inline]
+    pub fn buf_len(&self) -> usize {
+        self.buf_len
+    }
+
+    /// The chunk with the given PSN.
+    #[inline]
+    pub fn chunk(&self, psn: u32) -> PlannedChunk {
+        debug_assert!((psn as usize) < self.num_chunks());
+        let range = self.mtu.chunk_range(psn, self.buf_len);
+        PlannedChunk {
+            psn,
+            offset: range.start,
+            len: range.len(),
+            imm: self.layout.pack(self.coll, psn),
+        }
+    }
+
+    /// Iterate all chunks in PSN order.
+    pub fn iter(&self) -> ChunkIter {
+        ChunkIter {
+            chunker: *self,
+            next_psn: 0,
+            end_psn: self.num_chunks() as u32,
+        }
+    }
+}
+
+/// Iterator over [`PlannedChunk`]s in PSN order.
+#[derive(Debug, Clone)]
+pub struct ChunkIter {
+    chunker: Chunker,
+    next_psn: u32,
+    end_psn: u32,
+}
+
+impl Iterator for ChunkIter {
+    type Item = PlannedChunk;
+
+    fn next(&mut self) -> Option<PlannedChunk> {
+        if self.next_psn >= self.end_psn {
+            return None;
+        }
+        let c = self.chunker.chunk(self.next_psn);
+        self.next_psn += 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.end_psn - self.next_psn) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ChunkIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chunker(len: usize, mtu: usize) -> Chunker {
+        Chunker::new(len, Mtu::new(mtu), ImmLayout::DEFAULT, CollectiveId(3))
+    }
+
+    #[test]
+    fn eight_mib_buffer_is_2048_datagrams() {
+        // The paper's canonical DPA workload: 8 MiB buffer, 4 KiB chunks.
+        let c = chunker(8 << 20, 4096);
+        assert_eq!(c.num_chunks(), 2048);
+        let last = c.chunk(2047);
+        assert_eq!(last.offset, (8 << 20) - 4096);
+        assert_eq!(last.len, 4096);
+    }
+
+    #[test]
+    fn imm_carries_collective_and_psn() {
+        let c = chunker(10_000, 4096);
+        let layout = ImmLayout::DEFAULT;
+        for pc in c.iter() {
+            let (coll, psn) = layout.unpack(pc.imm);
+            assert_eq!(coll, CollectiveId(3));
+            assert_eq!(psn, pc.psn);
+        }
+    }
+
+    #[test]
+    fn empty_buffer_single_empty_chunk() {
+        let c = chunker(0, 4096);
+        assert_eq!(c.num_chunks(), 1);
+        let pc = c.chunk(0);
+        assert_eq!((pc.offset, pc.len), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "PSN field addresses only")]
+    fn psn_budget_enforced() {
+        // 3 PSN bits address 8 chunks; 9 needed.
+        Chunker::new(9 * 64, Mtu::new(64), ImmLayout::new(3), CollectiveId(0));
+    }
+
+    #[test]
+    fn iterator_length_matches() {
+        let c = chunker(1_000_000, 4096);
+        let v: Vec<_> = c.iter().collect();
+        assert_eq!(v.len(), c.num_chunks());
+        assert_eq!(c.iter().len(), c.num_chunks());
+    }
+
+    proptest! {
+        #[test]
+        fn chunks_tile_buffer_exactly(len in 0usize..200_000, mtu in 1usize..9000) {
+            let c = chunker(len, mtu);
+            let mut expect_off = 0usize;
+            let mut total = 0usize;
+            for (i, pc) in c.iter().enumerate() {
+                prop_assert_eq!(pc.psn as usize, i);
+                prop_assert_eq!(pc.offset, expect_off);
+                expect_off += pc.len;
+                total += pc.len;
+            }
+            prop_assert_eq!(total, len);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Packing of the 32-bit CQE immediate-data field.
+//!
+//! The fast path delivers exactly one piece of metadata per datagram: the
+//! packet sequence number (PSN) that locates the chunk inside the receive
+//! buffer. The paper stores it in the RDMA immediate field and leaves the
+//! remaining high bits for "implementation-specific information, such as
+//! the collective ID" (footnote 3). Figure 7 studies how the PSN bit-width
+//! bounds the addressable receive buffer and the reliability bitmap size;
+//! [`ImmLayout`] is the code form of that trade-off.
+
+use crate::types::CollectiveId;
+use serde::{Deserialize, Serialize};
+
+/// A raw 32-bit immediate value as carried in a packet header / CQE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ImmData(pub u32);
+
+/// Split of the 32 immediate bits into `[collective id | PSN]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImmLayout {
+    psn_bits: u32,
+}
+
+impl ImmLayout {
+    /// Default layout: 24 PSN bits (64 GiB of 4 KiB chunks) and 8 bits of
+    /// collective ID, enough for the ≥16 concurrent communicators the
+    /// paper's memory-footprint analysis targets (Section III-D).
+    pub const DEFAULT: ImmLayout = ImmLayout { psn_bits: 24 };
+
+    /// A layout with `psn_bits` bits of PSN (1..=32).
+    pub fn new(psn_bits: u32) -> ImmLayout {
+        assert!(
+            (1..=32).contains(&psn_bits),
+            "psn_bits must be in 1..=32, got {psn_bits}"
+        );
+        ImmLayout { psn_bits }
+    }
+
+    /// Number of bits carrying the PSN.
+    #[inline]
+    pub const fn psn_bits(self) -> u32 {
+        self.psn_bits
+    }
+
+    /// Number of high bits available for the collective ID.
+    #[inline]
+    pub const fn coll_bits(self) -> u32 {
+        32 - self.psn_bits
+    }
+
+    /// Largest representable PSN.
+    #[inline]
+    pub const fn max_psn(self) -> u32 {
+        if self.psn_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.psn_bits) - 1
+        }
+    }
+
+    /// Number of distinct chunks addressable = `2^psn_bits`.
+    #[inline]
+    pub const fn addressable_chunks(self) -> u64 {
+        1u64 << self.psn_bits
+    }
+
+    /// Largest collective ID representable in the remaining bits.
+    #[inline]
+    pub const fn max_coll_id(self) -> u32 {
+        if self.psn_bits == 32 {
+            0
+        } else {
+            (1u32 << (32 - self.psn_bits)) - 1
+        }
+    }
+
+    /// Pack `(coll, psn)` into an immediate value.
+    ///
+    /// # Panics
+    /// If either field exceeds its bit budget — that is a protocol bug, not
+    /// a runtime condition.
+    #[inline]
+    pub fn pack(self, coll: CollectiveId, psn: u32) -> ImmData {
+        assert!(psn <= self.max_psn(), "PSN {psn} exceeds {} bits", self.psn_bits);
+        assert!(
+            coll.0 <= self.max_coll_id(),
+            "collective id {} exceeds {} bits",
+            coll.0,
+            self.coll_bits()
+        );
+        if self.psn_bits == 32 {
+            ImmData(psn)
+        } else {
+            ImmData((coll.0 << self.psn_bits) | psn)
+        }
+    }
+
+    /// Unpack an immediate value into `(collective id, psn)`.
+    #[inline]
+    pub fn unpack(self, imm: ImmData) -> (CollectiveId, u32) {
+        if self.psn_bits == 32 {
+            (CollectiveId(0), imm.0)
+        } else {
+            let psn = imm.0 & self.max_psn();
+            let coll = imm.0 >> self.psn_bits;
+            (CollectiveId(coll), psn)
+        }
+    }
+}
+
+impl Default for ImmLayout {
+    fn default() -> Self {
+        ImmLayout::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_layout_budget() {
+        let l = ImmLayout::DEFAULT;
+        assert_eq!(l.psn_bits(), 24);
+        assert_eq!(l.coll_bits(), 8);
+        assert_eq!(l.max_psn(), (1 << 24) - 1);
+        assert_eq!(l.max_coll_id(), 255);
+        assert_eq!(l.addressable_chunks(), 1 << 24);
+    }
+
+    #[test]
+    fn full_width_psn() {
+        let l = ImmLayout::new(32);
+        assert_eq!(l.max_psn(), u32::MAX);
+        assert_eq!(l.max_coll_id(), 0);
+        let imm = l.pack(CollectiveId(0), 0xdead_beef);
+        assert_eq!(l.unpack(imm), (CollectiveId(0), 0xdead_beef));
+    }
+
+    #[test]
+    #[should_panic(expected = "PSN")]
+    fn psn_overflow_panics() {
+        ImmLayout::new(8).pack(CollectiveId(0), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "collective id")]
+    fn coll_overflow_panics() {
+        ImmLayout::new(30).pack(CollectiveId(4), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_roundtrip(bits in 1u32..=32, raw_coll: u32, raw_psn: u32) {
+            let l = ImmLayout::new(bits);
+            let coll = CollectiveId(raw_coll & l.max_coll_id());
+            let psn = raw_psn & l.max_psn();
+            let imm = l.pack(coll, psn);
+            prop_assert_eq!(l.unpack(imm), (coll, psn));
+        }
+
+        #[test]
+        fn distinct_psn_distinct_imm(bits in 1u32..=32, a: u32, b: u32) {
+            let l = ImmLayout::new(bits);
+            let (a, b) = (a & l.max_psn(), b & l.max_psn());
+            prop_assume!(a != b);
+            let coll = CollectiveId(0);
+            prop_assert_ne!(l.pack(coll, a), l.pack(coll, b));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Maximum Transmission Unit handling.
+//!
+//! UD transports deliver at most one MTU of payload per datagram, so every
+//! buffer the protocol moves is cut into `ceil(len / mtu)` chunks. The IB
+//! specification allows MTUs up to 4 KiB; the paper additionally shrinks
+//! the *chunk* size to 64 B in Section VII to emulate the packet arrival
+//! rate of a 1.6 Tbit/s link, so chunk sizes here are not restricted to
+//! the spec values.
+
+use serde::{Deserialize, Serialize};
+
+/// A validated chunk/packet payload capacity in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Mtu(usize);
+
+impl Mtu {
+    /// The 4 KiB IB MTU used by default throughout the paper.
+    pub const IB_4K: Mtu = Mtu(4096);
+    /// 2 KiB IB MTU.
+    pub const IB_2K: Mtu = Mtu(2048);
+    /// 1 KiB IB MTU.
+    pub const IB_1K: Mtu = Mtu(1024);
+    /// The 64 B micro-chunk used for the Tbit/s arrival-rate study (Fig. 16).
+    pub const MICRO_64B: Mtu = Mtu(64);
+
+    /// An arbitrary positive chunk size.
+    pub fn new(bytes: usize) -> Mtu {
+        assert!(bytes > 0, "MTU must be positive");
+        Mtu(bytes)
+    }
+
+    /// Payload capacity in bytes.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        self.0
+    }
+
+    /// Number of chunks needed for a buffer of `len` bytes (zero-length
+    /// buffers still occupy one (empty) chunk so that completion semantics
+    /// are uniform).
+    #[inline]
+    pub const fn chunks_for(self, len: usize) -> usize {
+        if len == 0 {
+            1
+        } else {
+            len.div_ceil(self.0)
+        }
+    }
+
+    /// Byte range `[start, end)` of chunk `psn` within a buffer of `len`
+    /// bytes. The last chunk may be short.
+    #[inline]
+    pub fn chunk_range(self, psn: u32, len: usize) -> std::ops::Range<usize> {
+        let start = (psn as usize) * self.0;
+        let end = (start + self.0).min(len);
+        debug_assert!(start <= len, "PSN {psn} beyond buffer of {len} bytes");
+        start..end
+    }
+}
+
+impl Default for Mtu {
+    fn default() -> Self {
+        Mtu::IB_4K
+    }
+}
+
+impl std::fmt::Display for Mtu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_multiple_of(1024) {
+            write!(f, "{}KiB", self.0 / 1024)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn chunk_counts() {
+        let m = Mtu::IB_4K;
+        assert_eq!(m.chunks_for(0), 1);
+        assert_eq!(m.chunks_for(1), 1);
+        assert_eq!(m.chunks_for(4096), 1);
+        assert_eq!(m.chunks_for(4097), 2);
+        assert_eq!(m.chunks_for(8 << 20), 2048); // the paper's 8 MiB buffer
+    }
+
+    #[test]
+    fn last_chunk_is_short() {
+        let m = Mtu::new(100);
+        assert_eq!(m.chunk_range(0, 250), 0..100);
+        assert_eq!(m.chunk_range(1, 250), 100..200);
+        assert_eq!(m.chunk_range(2, 250), 200..250);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mtu_rejected() {
+        Mtu::new(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Mtu::IB_4K.to_string(), "4KiB");
+        assert_eq!(Mtu::MICRO_64B.to_string(), "64B");
+        assert_eq!(Mtu::new(100).to_string(), "100B");
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_partition_buffer(mtu in 1usize..8192, len in 0usize..100_000) {
+            let m = Mtu::new(mtu);
+            let n = m.chunks_for(len);
+            let mut covered = 0usize;
+            for psn in 0..n {
+                let r = m.chunk_range(psn as u32, len);
+                prop_assert_eq!(r.start, covered);
+                prop_assert!(r.end <= len);
+                prop_assert!(r.len() <= mtu);
+                // Only the final chunk may be short (or empty for len == 0).
+                if psn + 1 < n {
+                    prop_assert_eq!(r.len(), mtu);
+                }
+                covered = r.end;
+            }
+            prop_assert_eq!(covered, len);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Work requests and completions.
+//!
+//! These mirror the Verbs send/receive work-queue-element and
+//! completion-queue-entry structures closely enough that the DPA kernel
+//! code in the paper's Appendix C maps one-to-one onto our simulated
+//! handlers (`flexio_dev_cqe_get_opcode`, `cqe_get_imm_data`, ...).
+
+use crate::imm::ImmData;
+use crate::types::{McastGroupId, QpNum, Rank};
+use crate::wire::PacketKind;
+use serde::{Deserialize, Serialize};
+
+/// A send-side or receive-side work request, posted to a QP.
+///
+/// Buffer references are `(offset, len)` into the memory region registered
+/// with the owning endpoint; fabrics resolve them to descriptors (DES) or
+/// byte slices (memfabric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkRequest {
+    /// Two-sided send of one datagram to a multicast group (UD/UC fast path).
+    SendMcast {
+        /// Target multicast group (one multicast tree in the fabric).
+        group: McastGroupId,
+        /// Immediate data carrying `(collective id, PSN)`.
+        imm: ImmData,
+        /// Offset of the chunk inside the registered send buffer.
+        offset: usize,
+        /// Chunk length in bytes.
+        len: usize,
+    },
+    /// Two-sided unicast send.
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Destination queue pair.
+        dst_qp: QpNum,
+        /// Optional immediate data.
+        imm: Option<ImmData>,
+        /// Offset inside the registered send buffer.
+        offset: usize,
+        /// Length in bytes.
+        len: usize,
+        /// Traffic class for accounting.
+        kind: PacketKind,
+    },
+    /// One-sided RDMA Write (RC/UC).
+    RdmaWrite {
+        /// Destination rank.
+        dst: Rank,
+        /// Destination queue pair.
+        dst_qp: QpNum,
+        /// Offset in the remote registered region.
+        remote_offset: usize,
+        /// Offset in the local registered region.
+        local_offset: usize,
+        /// Length in bytes.
+        len: usize,
+        /// Optional immediate (generates a receive completion remotely).
+        imm: Option<ImmData>,
+    },
+    /// One-sided RDMA Read (RC only) — the selective-fetch primitive of the
+    /// slow-path reliability layer.
+    RdmaRead {
+        /// Rank owning the source buffer.
+        dst: Rank,
+        /// Remote queue pair.
+        dst_qp: QpNum,
+        /// Offset in the remote registered region to read from.
+        remote_offset: usize,
+        /// Offset in the local registered region to land data at.
+        local_offset: usize,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// Pre-posted receive buffer slot (staging ring entry).
+    RecvPost {
+        /// Offset inside the registered receive/staging region.
+        offset: usize,
+        /// Capacity of the slot in bytes.
+        len: usize,
+    },
+}
+
+/// Completion opcode, matching the subset of `ibv_wc_opcode` /
+/// `flexio_dev_cqe_get_opcode` values the protocol dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CqeOpcode {
+    /// Incoming two-sided message landed in a pre-posted receive slot.
+    Recv,
+    /// Incoming RDMA Write-with-immediate (the `DPA_CQE_RESPONDER_WRITE_W_IMM`
+    /// case in Appendix C, Listing 1).
+    RecvRdmaWriteImm,
+    /// Local send completed (last WQE of a batch when send batching is on).
+    Send,
+    /// Local RDMA Read completed; fetched data is in the local region.
+    RdmaReadDone,
+    /// Local RDMA Write completed.
+    RdmaWriteDone,
+}
+
+/// Completion status. Real NICs only report errors on reliable transports;
+/// unreliable drops are silent — the simulators keep these variants for
+/// test observability, and protocol code must *not* rely on seeing them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompletionStatus {
+    /// Operation completed successfully.
+    Success,
+    /// Receiver-not-ready: no pre-posted receive slot was available.
+    RnrDrop,
+    /// Packet lost in the fabric (link-layer corruption).
+    FabricDrop,
+    /// Work request flushed (QP destroyed mid-operation).
+    Flushed,
+}
+
+/// Completion queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cqe {
+    /// What completed.
+    pub opcode: CqeOpcode,
+    /// Outcome.
+    pub status: CompletionStatus,
+    /// The local QP this completion belongs to.
+    pub qp: QpNum,
+    /// Immediate data carried by the packet (PSN lives here).
+    pub imm: Option<ImmData>,
+    /// Payload bytes received/sent.
+    pub byte_len: usize,
+    /// User-chosen work-request identifier (e.g. staging slot index).
+    pub wr_id: u64,
+    /// Source rank for receive completions (from the UD address vector).
+    pub src: Option<Rank>,
+}
+
+impl Cqe {
+    /// True if this CQE is a successful inbound data completion.
+    #[inline]
+    pub fn is_recv_success(&self) -> bool {
+        self.status == CompletionStatus::Success
+            && matches!(self.opcode, CqeOpcode::Recv | CqeOpcode::RecvRdmaWriteImm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(opcode: CqeOpcode, status: CompletionStatus) -> Cqe {
+        Cqe {
+            opcode,
+            status,
+            qp: QpNum(0),
+            imm: None,
+            byte_len: 0,
+            wr_id: 0,
+            src: None,
+        }
+    }
+
+    #[test]
+    fn recv_success_predicate() {
+        assert!(mk(CqeOpcode::Recv, CompletionStatus::Success).is_recv_success());
+        assert!(mk(CqeOpcode::RecvRdmaWriteImm, CompletionStatus::Success).is_recv_success());
+        assert!(!mk(CqeOpcode::Send, CompletionStatus::Success).is_recv_success());
+        assert!(!mk(CqeOpcode::Recv, CompletionStatus::FabricDrop).is_recv_success());
+        assert!(!mk(CqeOpcode::Recv, CompletionStatus::RnrDrop).is_recv_success());
+    }
+}

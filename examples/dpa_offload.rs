@@ -1,0 +1,94 @@
+//! SmartNIC offloading demo: the DPA receive datapath from one hardware
+//! thread to half the accelerator, against the single-core host CPU —
+//! the story of the paper's Figs. 5/13/16 and Table I.
+//!
+//! ```text
+//! cargo run --release --example dpa_offload
+//! ```
+
+use mcast_allgather::dpa::{run_datapath, ArrivalModel, DpaSpec, Kernel, KernelKind};
+
+fn main() {
+    let spec = DpaSpec::bf3();
+    println!(
+        "DPA complex: {} cores x {} threads @ {} GHz, {} KiB LLC\n",
+        spec.cores,
+        spec.core.threads,
+        spec.core.freq_ghz,
+        spec.llc_bytes >> 10
+    );
+
+    // Table I: single-thread metrics.
+    println!("single-thread datapath metrics (8 MiB buffer, 4 KiB chunks):");
+    println!(
+        "  {:<8} {:>10} {:>10} {:>10} {:>6}",
+        "path", "GiB/s", "instr/CQE", "cyc/CQE", "IPC"
+    );
+    for kind in [KernelKind::DpaUc, KernelKind::DpaUd] {
+        let m = run_datapath(
+            &spec,
+            &Kernel::new(kind),
+            1,
+            4096,
+            2048 * 10,
+            ArrivalModel::Saturated,
+        );
+        println!(
+            "  {:<8} {:>10.1} {:>10.0} {:>10.0} {:>6.2}",
+            format!("{kind:?}"),
+            m.gib_per_s,
+            m.instr_per_cqe,
+            m.cycles_per_cqe,
+            m.ipc
+        );
+    }
+
+    // Thread scaling at 200 Gbit/s (Fig. 13): latency hiding in action.
+    let link = ArrivalModel::LinkRate {
+        gbps: 200.0,
+        header_bytes: 64,
+    };
+    println!("\nUD thread scaling on one core against a 200 Gbit/s link:");
+    for t in [1u32, 2, 4, 8, 16] {
+        let m = run_datapath(&spec, &Kernel::new(KernelKind::DpaUd), t, 4096, 20_000, link);
+        let bar = "#".repeat((m.goodput_gbps / 4.0) as usize);
+        println!("  {t:>2} threads: {:>6.1} Gbit/s {bar}", m.goodput_gbps);
+    }
+
+    let cpu = run_datapath(
+        &DpaSpec::host_cpu(),
+        &Kernel::new(KernelKind::CpuRcCustom),
+        1,
+        4096,
+        20_000,
+        link,
+    );
+    println!(
+        "  1 x86 core: {:>6.1} Gbit/s {} (no hardware threads to hide latency)",
+        cpu.goodput_gbps,
+        "#".repeat((cpu.goodput_gbps / 4.0) as usize)
+    );
+
+    // Fig. 16: can this silicon drive a 1.6 Tbit/s link?
+    let need = 1.6e12 / 8.0 / 4096.0 / 1e6;
+    println!("\n64 B chunk rate toward Tbit/s links (needs {need:.1} Mchunks/s):");
+    for t in [16u32, 64, 128] {
+        let m = run_datapath(
+            &spec,
+            &Kernel::new(KernelKind::DpaUd),
+            t,
+            64,
+            2_000 * t as u64,
+            ArrivalModel::Saturated,
+        );
+        let verdict = if m.chunks_per_sec / 1e6 >= need {
+            "sustains 1.6 Tbit/s"
+        } else {
+            "below target"
+        };
+        println!(
+            "  {t:>3} threads: {:>6.1} Mchunks/s  ({verdict})",
+            m.chunks_per_sec / 1e6
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: run one multicast Allgather on a simulated 16-node
+//! InfiniBand fabric and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mcast_allgather::core::{des, CollectiveKind, ProtocolConfig, Sequencer};
+use mcast_allgather::simnet::{FabricConfig, Topology};
+use mcast_allgather::verbs::LinkRate;
+
+fn main() {
+    let n = 256 << 10; // 256 KiB per rank — the FSDP sweet spot
+    let topo = Topology::fat_tree_two_level(16, 2, 1, 2, LinkRate::CX3_56G, 300);
+    println!(
+        "topology: {} ({} hosts, {} switches, {} links)",
+        topo.name(),
+        topo.num_hosts(),
+        topo.num_switches(),
+        topo.num_links()
+    );
+
+    // Show the Appendix A schedule for two parallel chains (Fig. 8).
+    let seq = Sequencer::new(16, 2);
+    println!("\nbroadcast sequencer (P=16, M=2 chains):");
+    for step in 0..seq.num_steps() {
+        println!("  step {step}: active roots {:?}", seq.active_group(step));
+    }
+
+    let out = des::run_collective(
+        topo,
+        FabricConfig::ucc_default(),
+        ProtocolConfig::parallel(2, 2),
+        CollectiveKind::Allgather,
+        n,
+    );
+    assert!(
+        out.stats.all_done(),
+        "collective did not finish: {:?}",
+        out.stats
+    );
+
+    println!("\nallgather of {} KiB x 16 ranks:", n >> 10);
+    println!(
+        "  completion        : {:.1} us",
+        out.completion_ns() as f64 / 1e3
+    );
+    println!("  mean recv rate    : {:.1} Gbit/s", out.mean_recv_gbps());
+    println!("  variability (CV)  : {:.3}", out.recv_gbps_cv());
+    let (sync, dp, fin) = out.mean_breakdown_ns();
+    let tot = sync + dp + fin;
+    println!(
+        "  phase breakdown   : {:.1}% RNR sync, {:.1}% multicast datapath, {:.1}% final sync",
+        100.0 * sync / tot,
+        100.0 * dp / tot,
+        100.0 * fin / tot
+    );
+    println!(
+        "  traffic           : {:.1} MiB over all links, max {:.1} MiB on one link",
+        out.traffic.total_data_bytes() as f64 / (1 << 20) as f64,
+        out.traffic.max_link_data_bytes() as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  bandwidth-optimal : each link carried at most P*N = {:.1} MiB",
+        (16 * n) as f64 / (1 << 20) as f64
+    );
+    assert!(out.traffic.max_link_data_bytes() <= (16 * n) as u64);
+}

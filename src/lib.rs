@@ -1,0 +1,43 @@
+//! # mcast-allgather
+//!
+//! Workspace facade for the reproduction of *"Network-Offloaded
+//! Bandwidth-Optimal Broadcast and Allgather for Distributed AI"*
+//! (Khalilov et al., SC 2024): re-exports every component so examples,
+//! integration tests, and downstream users need a single dependency.
+//!
+//! * [`core`] — the multicast Broadcast/Allgather protocol and drivers.
+//! * [`simnet`] — the discrete-event RDMA fabric (fat-trees, multicast
+//!   trees, in-network reduction, drop injection, port counters).
+//! * [`memfabric`] — the threaded real-byte fabric for end-to-end
+//!   validation.
+//! * [`baselines`] — point-to-point collective schedules.
+//! * [`dpa`] — the cycle-level SmartNIC (DPA) simulator.
+//! * [`models`] — the paper's analytic cost models.
+//! * [`verbs`] — shared RDMA vocabulary (transports, QPs, PSNs, MTUs).
+//!
+//! ```
+//! use mcast_allgather::core::{des, CollectiveKind, ProtocolConfig};
+//! use mcast_allgather::simnet::{FabricConfig, Topology};
+//! use mcast_allgather::verbs::LinkRate;
+//!
+//! let out = des::run_collective(
+//!     Topology::single_switch(4, LinkRate::CX3_56G, 100),
+//!     FabricConfig::ucc_default(),
+//!     ProtocolConfig::default(),
+//!     CollectiveKind::Allgather,
+//!     64 << 10,
+//! );
+//! assert!(out.stats.all_done());
+//! // Bandwidth optimality: no link carried more than P * N payload bytes.
+//! assert!(out.traffic.max_link_data_bytes() <= 4 * (64 << 10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mcag_baselines as baselines;
+pub use mcag_core as core;
+pub use mcag_dpa as dpa;
+pub use mcag_memfabric as memfabric;
+pub use mcag_models as models;
+pub use mcag_simnet as simnet;
+pub use mcag_verbs as verbs;

@@ -1,0 +1,140 @@
+//! The FSDP contention scenario: concurrent {Allgather, Reduce-Scatter}
+//! pairs, the in-network reduction substrate, and Appendix B's speedup.
+
+use mcast_allgather::baselines::{ring_allgather, ring_reduce_scatter, run_p2p_concurrent};
+use mcast_allgather::core::{
+    concurrent::run_inc_reduce_scatter, run_concurrent_ag_rs, ProtocolConfig,
+};
+use mcast_allgather::models::concurrent_speedup;
+use mcast_allgather::simnet::{FabricConfig, Topology};
+use mcast_allgather::verbs::{LinkRate, Mtu};
+
+fn star(p: u32) -> Topology {
+    Topology::single_switch(p as usize, LinkRate::CX3_56G, 100)
+}
+
+#[test]
+fn inc_reduce_scatter_delivers_every_shard() {
+    let out = run_inc_reduce_scatter(star(8), FabricConfig::ucc_default(), Mtu::IB_4K, 128 << 10);
+    assert!(out.stats.all_done());
+    assert_eq!(out.rs_times.iter().flatten().count(), 8);
+}
+
+#[test]
+fn inc_rs_send_bound_recv_light() {
+    // Insight 2: INC RS injects N(P-1) but receives only N per rank.
+    let n: u64 = 64 << 10;
+    let p = 6u64;
+    let out = run_inc_reduce_scatter(
+        star(p as u32),
+        FabricConfig::ideal(),
+        Mtu::IB_4K,
+        n as usize,
+    );
+    let topo = star(p as u32);
+    assert_eq!(
+        out.traffic.host_injection_bytes(&topo),
+        p * n * (p - 1),
+        "each rank contributes all foreign shards"
+    );
+    assert_eq!(
+        out.traffic.host_delivery_bytes(&topo),
+        p * n,
+        "each rank receives exactly its reduced shard"
+    );
+}
+
+#[test]
+fn inc_reduction_happens_in_the_switch() {
+    // On a star, P-1 contributions per shard enter the switch but only
+    // ONE reduced copy leaves it: inter-switch + delivery traffic stays
+    // N per rank however many peers contribute.
+    for p in [3u64, 6, 10] {
+        let n: u64 = 32 << 10;
+        let out = run_inc_reduce_scatter(
+            star(p as u32),
+            FabricConfig::ideal(),
+            Mtu::IB_4K,
+            n as usize,
+        );
+        let topo = star(p as u32);
+        assert_eq!(out.traffic.host_delivery_bytes(&topo), p * n, "P = {p}");
+    }
+}
+
+#[test]
+fn appendix_b_speedup_tracks_model() {
+    let n = 256usize << 10;
+    for p in [4u32, 8, 16] {
+        let ring = run_p2p_concurrent(
+            star(p),
+            FabricConfig::ideal(),
+            vec![ring_allgather(p, n), ring_reduce_scatter(p, n)],
+            32 << 10,
+        );
+        assert!(ring.stats.all_done());
+        let t_ring = ring.flow_completion_ns(0).max(ring.flow_completion_ns(1));
+        let opt = run_concurrent_ag_rs(
+            star(p),
+            FabricConfig::ideal(),
+            ProtocolConfig {
+                chains: p,
+                mtu: Mtu::new(16 << 10),
+                ..ProtocolConfig::default()
+            },
+            n,
+        );
+        assert!(opt.stats.all_done());
+        let s = t_ring as f64 / opt.pair_completion_ns() as f64;
+        let model = concurrent_speedup(p);
+        assert!(
+            (s - model).abs() / model < 0.25,
+            "P={p}: measured {s:.2} vs model {model:.2}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_pair_on_fat_tree() {
+    // Not just stars: the pair must also complete on the multi-switch
+    // testbed shape (reduction trees spanning leaf and spine levels).
+    let topo = Topology::fat_tree_two_level(24, 3, 2, 2, LinkRate::CX3_56G, 300);
+    let out = run_concurrent_ag_rs(
+        topo,
+        FabricConfig::ucc_default(),
+        ProtocolConfig {
+            chains: 4,
+            mtu: Mtu::new(8 << 10),
+            ..ProtocolConfig::default()
+        },
+        128 << 10,
+    );
+    assert!(out.stats.all_done(), "{:?}", out.stats);
+}
+
+#[test]
+fn optimal_pair_strictly_beats_ring_pair() {
+    let n = 512usize << 10;
+    let p = 12u32;
+    let ring = run_p2p_concurrent(
+        star(p),
+        FabricConfig::ideal(),
+        vec![ring_allgather(p, n), ring_reduce_scatter(p, n)],
+        64 << 10,
+    );
+    let t_ring = ring.flow_completion_ns(0).max(ring.flow_completion_ns(1));
+    let opt = run_concurrent_ag_rs(
+        star(p),
+        FabricConfig::ideal(),
+        ProtocolConfig {
+            chains: p,
+            mtu: Mtu::new(32 << 10),
+            ..ProtocolConfig::default()
+        },
+        n,
+    );
+    assert!(
+        opt.pair_completion_ns() < t_ring,
+        "optimal pair must win outright"
+    );
+}

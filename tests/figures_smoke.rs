@@ -1,0 +1,98 @@
+//! Smoke tests for the figure harness: every generator must produce a
+//! well-formed table. (The heavy 188-node figures are `#[ignore]`d here
+//! and exercised by the `figures` binary / `cargo bench`.)
+
+use mcag_bench::{generate, FigData};
+
+fn check(f: &FigData) {
+    assert!(!f.rows.is_empty(), "{}: empty table", f.id);
+    for row in &f.rows {
+        assert_eq!(row.len(), f.columns.len(), "{}: ragged row", f.id);
+    }
+    let rendered = f.render();
+    assert!(rendered.contains(&f.id));
+    let csv = f.to_csv();
+    assert_eq!(csv.lines().count(), f.rows.len() + 1);
+}
+
+#[test]
+fn fig2_shape() {
+    check(&generate("fig2"));
+}
+
+#[test]
+fn fig3_shape() {
+    check(&generate("fig3"));
+}
+
+#[test]
+fn fig5_shape() {
+    let f = generate("fig5");
+    check(&f);
+    // The DPA column must dominate both CPU columns at 8 MiB.
+    let last = f.rows.last().unwrap();
+    let ucx: f64 = last[1].parse().unwrap();
+    let rc: f64 = last[2].parse().unwrap();
+    let dpa: f64 = last[3].parse().unwrap();
+    assert!(dpa > rc && rc > ucx, "fig5 ordering broken: {last:?}");
+}
+
+#[test]
+fn fig7_shape() {
+    check(&generate("fig7"));
+}
+
+#[test]
+fn table1_shape() {
+    check(&generate("table1"));
+}
+
+#[test]
+fn fig13_and_fig14_shapes() {
+    check(&generate("fig13"));
+    check(&generate("fig14"));
+}
+
+#[test]
+fn fig15_shape() {
+    let f = generate("fig15");
+    check(&f);
+    // 64 KiB chunks reach line rate with one thread.
+    let last = f.rows.last().unwrap();
+    let one_thr: f64 = last[1].parse().unwrap();
+    assert!(one_thr > 185.0, "fig15 64KiB single-thread: {one_thr}");
+}
+
+#[test]
+fn fig16_shape() {
+    check(&generate("fig16"));
+}
+
+#[test]
+fn appb_shape() {
+    check(&generate("appb"));
+}
+
+#[test]
+#[ignore = "full 188-node sweep (~20 s in release); run with --ignored"]
+fn fig10_shape() {
+    check(&generate("fig10"));
+}
+
+#[test]
+#[ignore = "full 188-node sweep (~30 s in release); run with --ignored"]
+fn fig11_shape() {
+    check(&generate("fig11"));
+}
+
+#[test]
+#[ignore = "10-iteration counter sweep (~15 s in release); run with --ignored"]
+fn fig12_shape() {
+    let f = generate("fig12");
+    check(&f);
+    // The headline: both savings ratios in the paper's 1.5-2x band.
+    for row in f.rows.iter().filter(|r| r[1].contains("ours")) {
+        let ratio: f64 = row[3].trim_end_matches('x').parse().unwrap();
+        assert!((1.5..=2.2).contains(&ratio), "savings {ratio}");
+    }
+}

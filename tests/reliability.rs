@@ -1,0 +1,173 @@
+//! Failure-injection integration tests: the slow-path reliability layer
+//! under targeted and randomized loss, on both execution substrates
+//! (discrete-event fabric and the real-byte threaded fabric).
+
+use mcast_allgather::core::{des, CollectiveKind, ProtocolConfig};
+use mcast_allgather::memfabric::collective::{
+    allgather_fixture, expected_allgather, run_threaded, ThreadedConfig,
+};
+use mcast_allgather::memfabric::MemFabricConfig;
+use mcast_allgather::simnet::{FabricConfig, Topology};
+use mcast_allgather::verbs::LinkRate;
+use proptest::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn neighbor_also_missing_recursive_fetch() {
+    // Drop the same chunk at a rank AND its left neighbor: the neighbor
+    // must recover first (from its own left), then serve — the recursive
+    // scheme of Section III-C.
+    let mut cfg = FabricConfig::ucc_default();
+    // Rank 3's left neighbor is rank 2. Both lose chunk 5 of root 0.
+    cfg.drops.forced.insert((0, 5, 3));
+    cfg.drops.forced.insert((0, 5, 2));
+    let out = des::run_collective(
+        Topology::single_switch(6, LinkRate::CX3_56G, 100),
+        cfg,
+        ProtocolConfig::default(),
+        CollectiveKind::Allgather,
+        64 << 10,
+    );
+    assert!(out.stats.all_done(), "{:?}", out.stats);
+    assert!(out.timings[2].fetched_chunks >= 1);
+    assert!(out.timings[3].fetched_chunks >= 1);
+}
+
+#[test]
+fn chunk_dropped_at_every_receiver() {
+    // A chunk lost by everyone except its origin: recovery must walk the
+    // ring back to the origin. Forced drops are keyed by *global* PSN:
+    // local chunk 20 of root 1 at 128 KiB / 4 KiB MTU (32 chunks/root).
+    let chunks_per_root = (128 << 10) / 4096;
+    let psn = chunks_per_root + 20;
+    let mut cfg = FabricConfig::ucc_default();
+    for dst in 0..6u32 {
+        if dst != 1 {
+            cfg.drops.forced.insert((1, psn, dst));
+        }
+    }
+    let out = des::run_collective(
+        Topology::single_switch(6, LinkRate::CX3_56G, 100),
+        cfg,
+        ProtocolConfig::default(),
+        CollectiveKind::Allgather,
+        128 << 10,
+    );
+    assert!(out.stats.all_done(), "{:?}", out.stats);
+    let fetched: u64 = out.timings.iter().map(|t| t.fetched_chunks).sum();
+    assert!(fetched >= 5, "all five victims must fetch, got {fetched}");
+}
+
+#[test]
+fn broadcast_root_chunk_storm() {
+    // Drop a swath of the root's chunks at half the leaves.
+    let mut cfg = FabricConfig::ucc_default();
+    for psn in 4..12u32 {
+        for dst in [1u32, 3, 5, 7] {
+            cfg.drops.forced.insert((0, psn, dst));
+        }
+    }
+    let out = des::run_collective(
+        Topology::single_switch(8, LinkRate::CX3_56G, 100),
+        cfg,
+        ProtocolConfig::default(),
+        CollectiveKind::Broadcast {
+            root: mcast_allgather::verbs::Rank(0),
+        },
+        128 << 10,
+    );
+    assert!(out.stats.all_done(), "{:?}", out.stats);
+    let fetched: u64 = out.timings.iter().map(|t| t.fetched_chunks).sum();
+    assert_eq!(fetched, 8 * 4, "every dropped chunk fetched exactly once");
+}
+
+#[test]
+fn recovery_traffic_is_accounted_as_data() {
+    // The fetched bytes must show up on the wire (RDMA read responses).
+    let mut cfg = FabricConfig::ideal();
+    cfg.drops.forced.insert((0, 0, 2));
+    let clean = des::run_collective(
+        Topology::single_switch(4, LinkRate::CX3_56G, 100),
+        FabricConfig::ideal(),
+        ProtocolConfig::default(),
+        CollectiveKind::Allgather,
+        32 << 10,
+    );
+    let lossy = des::run_collective(
+        Topology::single_switch(4, LinkRate::CX3_56G, 100),
+        cfg,
+        ProtocolConfig::default(),
+        CollectiveKind::Allgather,
+        32 << 10,
+    );
+    assert!(lossy.stats.all_done());
+    assert!(
+        lossy.traffic.total_data_bytes() > clean.traffic.total_data_bytes() - 4096,
+        "recovery read bytes missing from counters"
+    );
+}
+
+#[test]
+fn threaded_fabric_survives_sustained_loss_rates() {
+    for (drop, seed) in [(0.02, 1u64), (0.10, 2), (0.25, 3)] {
+        let (plan, bufs) = allgather_fixture(4, 48 << 10, 1, 1);
+        let cfg = ThreadedConfig {
+            fabric: MemFabricConfig::faulty(drop, 0.1, seed),
+            cutoff: Duration::from_millis(15),
+            watchdog: Duration::from_secs(60),
+            ..Default::default()
+        };
+        let report = run_threaded(&plan, &cfg, &bufs);
+        let expect = expected_allgather(&bufs);
+        for (r, got) in report.recv_bufs.iter().enumerate() {
+            assert_eq!(got, &expect, "rank {r} corrupted at drop rate {drop}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized end-to-end: any (P, N, loss, reorder) combination must
+    /// converge byte-exactly on the threaded fabric.
+    #[test]
+    fn threaded_allgather_always_converges(
+        p in 2u32..7,
+        n_kib in 1usize..48,
+        drop in 0.0f64..0.2,
+        reorder in 0.0f64..0.4,
+        seed: u64,
+    ) {
+        let (plan, bufs) = allgather_fixture(p, n_kib << 10, 1, 1);
+        let cfg = ThreadedConfig {
+            fabric: MemFabricConfig::faulty(drop, reorder, seed),
+            cutoff: Duration::from_millis(10),
+            watchdog: Duration::from_secs(60),
+            ..Default::default()
+        };
+        let report = run_threaded(&plan, &cfg, &bufs);
+        let expect = expected_allgather(&bufs);
+        for got in &report.recv_bufs {
+            prop_assert_eq!(got, &expect);
+        }
+    }
+
+    /// Randomized forced drops on the DES fabric always recover.
+    #[test]
+    fn des_forced_drops_always_recover(
+        drops in prop::collection::hash_set((0u32..5, 0u32..16, 0u32..5), 0..24),
+    ) {
+        let mut cfg = FabricConfig::ucc_default();
+        for (origin, psn, dst) in drops {
+            cfg.drops.forced.insert((origin, psn, dst));
+        }
+        let out = des::run_collective(
+            Topology::single_switch(5, LinkRate::CX3_56G, 100),
+            cfg,
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            64 << 10,
+        );
+        prop_assert!(out.stats.all_done());
+    }
+}
