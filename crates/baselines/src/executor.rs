@@ -147,8 +147,7 @@ impl ScheduleApp {
                     self.flows[f].cursor += 1;
                     if self.flows[f].is_done() {
                         self.flows[f].done_at = Some(ctx.now());
-                        self.results.borrow_mut()[f][me.idx()] =
-                            Some((self.start, ctx.now()));
+                        self.results.borrow_mut()[f][me.idx()] = Some((self.start, ctx.now()));
                     } else {
                         self.post_step_sends(ctx, f);
                     }
@@ -277,7 +276,13 @@ pub fn run_p2p_concurrent(
         let rank_flows: Vec<Schedule> = flows.iter().map(|fl| fl[r].clone()).collect();
         fab.set_app(
             rank,
-            Box::new(ScheduleApp::new(rank_flows, p, seg, qp, Rc::clone(&results))),
+            Box::new(ScheduleApp::new(
+                rank_flows,
+                p,
+                seg,
+                qp,
+                Rc::clone(&results),
+            )),
         );
     }
     let stats = fab.run();
@@ -331,7 +336,12 @@ mod tests {
         }
         // Binary tree must be the slowest of the three for large buffers
         // (every interior node forwards the buffer twice serially).
-        assert!(times[2] >= times[0], "binary {} < binomial {}", times[2], times[0]);
+        assert!(
+            times[2] >= times[0],
+            "binary {} < binomial {}",
+            times[2],
+            times[0]
+        );
     }
 
     #[test]

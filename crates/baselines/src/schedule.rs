@@ -174,8 +174,7 @@ pub fn bruck_allgather(p: u32, n: usize) -> Vec<Schedule> {
                 // We send our first `send_cnt` held blocks; we receive the
                 // blocks starting at r+have.
                 let send_blocks: Vec<u32> = (0..send_cnt).map(|i| (r + i) % p).collect();
-                let recv_blocks: Vec<u32> =
-                    (0..send_cnt).map(|i| (r + have + i) % p).collect();
+                let recv_blocks: Vec<u32> = (0..send_cnt).map(|i| (r + have + i) % p).collect();
                 steps.push(Step {
                     sends: vec![SendOp {
                         dst,
@@ -354,11 +353,13 @@ pub fn pipelined_chain_broadcast(p: u32, root: Rank, n: usize, seg: usize) -> Ve
                 for s in 0..num_segs {
                     steps.push(Step {
                         sends: (s > 0)
-                            .then(|| next.map(|dst| SendOp {
-                                dst,
-                                bytes: seg_len(s - 1),
-                                blocks: vec![0],
-                            }))
+                            .then(|| {
+                                next.map(|dst| SendOp {
+                                    dst,
+                                    bytes: seg_len(s - 1),
+                                    blocks: vec![0],
+                                })
+                            })
                             .flatten()
                             .into_iter()
                             .collect(),

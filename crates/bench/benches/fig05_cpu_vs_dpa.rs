@@ -5,7 +5,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mcag_dpa::{run_datapath, ArrivalModel, DpaSpec, Kernel, KernelKind};
 use std::hint::black_box;
 
-const LINK: ArrivalModel = ArrivalModel::LinkRate { gbps: 200.0, header_bytes: 64 };
+const LINK: ArrivalModel = ArrivalModel::LinkRate {
+    gbps: 200.0,
+    header_bytes: 64,
+};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig05_cpu_vs_dpa");

@@ -173,7 +173,12 @@ pub fn ablation_multicomm() -> FigData {
     let mut f = FigData::new(
         "ablation_multicomm",
         "Concurrent communicators sharing one fabric (6 ranks, 128 KiB each)",
-        &["communicators", "batch completion (us)", "per-comm spread", "total payload (MiB)"],
+        &[
+            "communicators",
+            "batch completion (us)",
+            "per-comm spread",
+            "total payload (MiB)",
+        ],
     );
     for k in [1usize, 2, 4, 8] {
         let out = run_concurrent_allgathers(
@@ -221,10 +226,7 @@ mod tests {
         let f = ablation_subgroups();
         // (4 subgroups, 4 workers) must beat (4 subgroups, 1 worker).
         let t = |s: &str, w: &str| {
-            f.rows
-                .iter()
-                .find(|r| r[0] == s && r[1] == w)
-                .unwrap()[2]
+            f.rows.iter().find(|r| r[0] == s && r[1] == w).unwrap()[2]
                 .parse::<f64>()
                 .unwrap()
         };

@@ -158,7 +158,12 @@ pub fn fig15() -> FigData {
     let mut f = FigData::new(
         "fig15",
         "UC transport throughput with multi-packet chunks (8 MiB buffer)",
-        &["chunk", "1 thread (Gbit/s)", "2 threads (Gbit/s)", "4 threads (Gbit/s)"],
+        &[
+            "chunk",
+            "1 thread (Gbit/s)",
+            "2 threads (Gbit/s)",
+            "4 threads (Gbit/s)",
+        ],
     );
     let spec = DpaSpec::bf3();
     let uc = Kernel::new(KernelKind::DpaUc);
@@ -185,7 +190,12 @@ pub fn fig16() -> FigData {
     let mut f = FigData::new(
         "fig16",
         "Sustained chunk rate with 64 B chunks (saturated queues)",
-        &["threads", "ud (Mchunks/s)", "uc (Mchunks/s)", "1.6 Tbit/s needs"],
+        &[
+            "threads",
+            "ud (Mchunks/s)",
+            "uc (Mchunks/s)",
+            "1.6 Tbit/s needs",
+        ],
     );
     let spec = DpaSpec::bf3();
     let ud = Kernel::new(KernelKind::DpaUd);

@@ -34,8 +34,8 @@ pub use data::FigData;
 
 /// All generator ids in paper order.
 pub const ALL_FIGS: &[&str] = &[
-    "fig2", "fig3", "fig5", "fig7", "fig10", "fig11", "fig12", "table1", "fig13", "fig14",
-    "fig15", "fig16", "appb",
+    "fig2", "fig3", "fig5", "fig7", "fig10", "fig11", "fig12", "table1", "fig13", "fig14", "fig15",
+    "fig16", "appb",
 ];
 
 /// Ablation studies beyond the paper's figures (design-choice sweeps

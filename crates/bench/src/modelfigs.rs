@@ -33,7 +33,10 @@ pub fn fig2() -> FigData {
             "2-level 512h",
             Topology::fat_tree_two_level(512, 32, 16, 1, LinkRate::NDR_400G, 300),
         ),
-        ("3-level 1024h radix-32", Topology::fig2_cluster(LinkRate::NDR_400G)),
+        (
+            "3-level 1024h radix-32",
+            Topology::fig2_cluster(LinkRate::NDR_400G),
+        ),
     ];
     for (name, topo) in &clusters {
         let p = topo.num_hosts() as u64;
@@ -60,7 +63,10 @@ pub fn fig2() -> FigData {
                 aname.to_string(),
                 human_bytes(t.total_link_bytes),
                 human_bytes(t.host_send_bytes / p),
-                format!("{:.2}x", t.total_link_bytes as f64 / mc.total_link_bytes as f64),
+                format!(
+                    "{:.2}x",
+                    t.total_link_bytes as f64 / mc.total_link_bytes as f64
+                ),
             ]);
         }
     }
@@ -78,10 +84,26 @@ pub fn fig3() -> FigData {
     );
     let (p, n) = (1024u32, 8u64 << 20);
     let rows: Vec<(&str, &str, Collective)> = vec![
-        ("{ring, ring}", "Allgather (ring)", Collective::AllgatherRing),
-        ("{ring, ring}", "Reduce-Scatter (ring)", Collective::ReduceScatterRing),
-        ("{mcast, INC}", "Allgather (mcast)", Collective::AllgatherMcast),
-        ("{mcast, INC}", "Reduce-Scatter (INC)", Collective::ReduceScatterInc),
+        (
+            "{ring, ring}",
+            "Allgather (ring)",
+            Collective::AllgatherRing,
+        ),
+        (
+            "{ring, ring}",
+            "Reduce-Scatter (ring)",
+            Collective::ReduceScatterRing,
+        ),
+        (
+            "{mcast, INC}",
+            "Allgather (mcast)",
+            Collective::AllgatherMcast,
+        ),
+        (
+            "{mcast, INC}",
+            "Reduce-Scatter (INC)",
+            Collective::ReduceScatterInc,
+        ),
     ];
     for (cfg, cname, c) in rows {
         let b = node_boundary(c, p, n);
@@ -146,7 +168,10 @@ pub fn fig7() -> FigData {
         ]);
     }
     for (name, mem) in GPU_MEMORY_REFS {
-        f.note(format!("device memory reference: {name} = {}", human_bytes(*mem)));
+        f.note(format!(
+            "device memory reference: {name} = {}",
+            human_bytes(*mem)
+        ));
     }
     let max = BitmapSizing::new(23, 4096);
     f.note(format!(

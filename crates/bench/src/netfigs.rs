@@ -53,7 +53,13 @@ pub fn fig10() -> FigData {
     let mut f = FigData::new(
         "fig10",
         "Allgather critical-path breakdown (mean across ranks)",
-        &["ranks", "message", "RNR sync", "mcast datapath", "final sync"],
+        &[
+            "ranks",
+            "message",
+            "RNR sync",
+            "mcast datapath",
+            "final sync",
+        ],
     );
     for p in [4usize, 16, 64, 188] {
         for n in [16usize << 10, 256 << 10, 4 << 20] {
@@ -179,7 +185,12 @@ pub fn fig12() -> FigData {
     let mut f = FigData::new(
         "fig12",
         "Traffic across all 18 switches (port RX+TX counters; 64 KiB, 10 iterations)",
-        &["collective", "algorithm", "switch-port bytes", "savings vs P2P"],
+        &[
+            "collective",
+            "algorithm",
+            "switch-port bytes",
+            "savings vs P2P",
+        ],
     );
     let p = 188u32;
     let n = 64usize << 10;
@@ -275,9 +286,7 @@ pub fn appb() -> FigData {
             seg_for(n),
         );
         assert!(ring.stats.all_done());
-        let t_ring = ring
-            .flow_completion_ns(0)
-            .max(ring.flow_completion_ns(1));
+        let t_ring = ring.flow_completion_ns(0).max(ring.flow_completion_ns(1));
         let opt = run_concurrent_ag_rs(
             topo(),
             FabricConfig::ideal(),
@@ -338,8 +347,10 @@ mod tests {
             .iter()
             .map(|r| r[3].parse::<f64>().unwrap())
             .collect();
-        assert!(speedups.windows(2).all(|w| w[1] >= w[0] - 0.08),
-            "speedup not growing: {speedups:?}");
+        assert!(
+            speedups.windows(2).all(|w| w[1] >= w[0] - 0.08),
+            "speedup not growing: {speedups:?}"
+        );
         let last = *speedups.last().unwrap();
         assert!(last > 1.4, "32-rank speedup only {last}");
     }

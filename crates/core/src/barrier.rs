@@ -128,8 +128,7 @@ mod tests {
     fn simulate(p: u32, shuffle_seed: u64) -> Vec<bool> {
         use rand::{RngExt, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
-        let mut states: Vec<BarrierState> =
-            (0..p).map(|r| BarrierState::new(Rank(r), p)).collect();
+        let mut states: Vec<BarrierState> = (0..p).map(|r| BarrierState::new(Rank(r), p)).collect();
         let mut inflight: VecDeque<(u32, u32, u8)> = VecDeque::new(); // (src, dst, round)
         for r in 0..p {
             for a in states[r as usize].start() {

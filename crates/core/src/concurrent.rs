@@ -272,10 +272,9 @@ pub fn run_concurrent_ag_rs(
     ));
     let mut fab: Fabric<ControlMsg> = Fabric::new(topo, fabric_cfg.clone());
 
-    let host_link = *fab.topology().link(
-        fab.topology()
-            .uplinks(fab.topology().host_node(Rank(0)))[0],
-    );
+    let host_link = *fab
+        .topology()
+        .link(fab.topology().uplinks(fab.topology().host_node(Rank(0)))[0]);
     // The pair roughly doubles the drain time of each collective (they
     // share the NIC), so give the AG cutoff 3× the usual headroom.
     let drain_ns = host_link.rate.serialization_ns(plan.recv_len()) * 3;
@@ -390,12 +389,8 @@ mod tests {
 
     #[test]
     fn inc_reduce_scatter_completes() {
-        let out = run_inc_reduce_scatter(
-            star(6),
-            FabricConfig::ucc_default(),
-            Mtu::IB_4K,
-            64 << 10,
-        );
+        let out =
+            run_inc_reduce_scatter(star(6), FabricConfig::ucc_default(), Mtu::IB_4K, 64 << 10);
         assert!(out.stats.all_done(), "{:?}", out.stats);
         for t in out.rs_times.iter() {
             assert!(t.is_some());

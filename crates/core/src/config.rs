@@ -33,8 +33,8 @@ impl Default for ProtocolConfig {
             imm: ImmLayout::DEFAULT,
             subgroups: 1,
             chains: 1,
-            cutoff_alpha_ns: 200_000,    // 200 µs
-            cutoff_per_step_ns: 10_000,  // 10 µs per activation handoff
+            cutoff_alpha_ns: 200_000,   // 200 µs
+            cutoff_per_step_ns: 10_000, // 10 µs per activation handoff
         }
     }
 }

@@ -124,10 +124,9 @@ pub fn run_collective(
 
     // Cutoff timer: ideal drain time of the receive buffer at the host
     // link rate, plus slack (Section III-C).
-    let host_link = *fab.topology().link(
-        fab.topology()
-            .uplinks(fab.topology().host_node(Rank(0)))[0],
-    );
+    let host_link = *fab
+        .topology()
+        .link(fab.topology().uplinks(fab.topology().host_node(Rank(0)))[0]);
     let drain_ns = host_link.rate.serialization_ns(plan.recv_len());
     let steps = plan.sequencer().num_steps() as u64;
     let cutoff_ns = drain_ns + proto.cutoff_alpha_ns + proto.cutoff_per_step_ns * steps;
@@ -361,6 +360,9 @@ mod tests {
             large_dp_frac > small_dp_frac,
             "datapath fraction should grow with message size: {small_dp_frac} vs {large_dp_frac}"
         );
-        assert!(large_dp_frac > 0.95, "8-rank 2 MiB should be datapath-bound");
+        assert!(
+            large_dp_frac > 0.95,
+            "8-rank 2 MiB should be datapath-bound"
+        );
     }
 }

@@ -49,9 +49,9 @@ impl ControlMsg {
     /// Payload bytes to account on the wire for this message.
     pub fn wire_payload(&self) -> usize {
         match self {
-            ControlMsg::Barrier { .. }
-            | ControlMsg::Activate
-            | ControlMsg::FinalPkt => CTRL_MSG_BYTES,
+            ControlMsg::Barrier { .. } | ControlMsg::Activate | ControlMsg::FinalPkt => {
+                CTRL_MSG_BYTES
+            }
             // 8 bytes per range descriptor, 16 B fixed.
             ControlMsg::FetchReq { ranges } | ControlMsg::FetchAck { ranges } => {
                 CTRL_MSG_BYTES + 8 * ranges.len()

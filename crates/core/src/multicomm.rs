@@ -127,10 +127,9 @@ pub fn run_concurrent_allgathers(
     let members: Vec<Rank> = (0..p).map(Rank).collect();
     let n_workers = fabric_cfg.host.rx_workers.max(1);
 
-    let host_link = *fab.topology().link(
-        fab.topology()
-            .uplinks(fab.topology().host_node(Rank(0)))[0],
-    );
+    let host_link = *fab
+        .topology()
+        .link(fab.topology().uplinks(fab.topology().host_node(Rank(0)))[0]);
 
     // Per-communicator plans, groups, and result sinks.
     let mut plans = Vec::with_capacity(k);

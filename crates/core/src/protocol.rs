@@ -310,7 +310,12 @@ impl McastRankApp {
     /// scheme of Section III-C. Waiting for *completeness* instead would
     /// deadlock when every rank misses a chunk its left neighbor also
     /// misses.
-    fn serve_fetch(&mut self, ctx: &mut Ctx<'_, ControlMsg>, requester: Rank, ranges: Vec<Range<u32>>) {
+    fn serve_fetch(
+        &mut self,
+        ctx: &mut Ctx<'_, ControlMsg>,
+        requester: Rank,
+        ranges: Vec<Range<u32>>,
+    ) {
         let mut have = Vec::new();
         let mut owe = Vec::new();
         for r in ranges {

@@ -111,8 +111,7 @@ pub fn run_datapath(
     let cores_used = threads.div_ceil(core.threads) as usize;
     let mut issue_free = vec![0.0f64; cores_used];
     let mut mem_free = vec![0.0f64; cores_used];
-    let loopback_cost =
-        spec.nic.loopback_op_ns + chunk_bytes as f64 * spec.nic.loopback_byte_ns;
+    let loopback_cost = spec.nic.loopback_op_ns + chunk_bytes as f64 * spec.nic.loopback_byte_ns;
     let mut loopback_free = 0.0f64;
 
     struct Thread {
@@ -338,13 +337,11 @@ mod tests {
         let mut ud_at = None;
         let mut uc_at = None;
         for t in 1..=16u32 {
-            if ud_at.is_none()
-                && bf3_run(KernelKind::DpaUd, t, link).goodput_gbps > 0.95 * ceiling
+            if ud_at.is_none() && bf3_run(KernelKind::DpaUd, t, link).goodput_gbps > 0.95 * ceiling
             {
                 ud_at = Some(t);
             }
-            if uc_at.is_none()
-                && bf3_run(KernelKind::DpaUc, t, link).goodput_gbps > 0.95 * ceiling
+            if uc_at.is_none() && bf3_run(KernelKind::DpaUc, t, link).goodput_gbps > 0.95 * ceiling
             {
                 uc_at = Some(t);
             }
@@ -464,7 +461,10 @@ mod tests {
             "RC custom fraction = {rc_frac}"
         );
         assert!(ucx.goodput_gbps < rc.goodput_gbps);
-        assert!(ucx.goodput_gbps / 200.0 > 0.2, "UCX UD unrealistically slow");
+        assert!(
+            ucx.goodput_gbps / 200.0 > 0.2,
+            "UCX UD unrealistically slow"
+        );
     }
 
     #[test]

@@ -90,6 +90,7 @@ impl Kernel {
                 // Activation + context fetch (Listing 1 lines 3-28).
                 ops(&mut t, Alu, 8);
                 ops(&mut t, LlcLoad, 1); // thread ctx
+
                 // Poll CQE + owner/opcode checks (lines 30-35).
                 ops(&mut t, DramLoad, 1); // CQE line (cold, DMA-written)
                 ops(&mut t, Alu, 10);
@@ -97,6 +98,7 @@ impl Kernel {
                 ops(&mut t, Alu, 8);
                 ops(&mut t, Store, 2); // CQ consumer index
                 ops(&mut t, Mmio, 1); // RQ doorbell
+
                 // Bitmap set + OOO tracking (38-42).
                 ops(&mut t, LlcLoad, 1);
                 ops(&mut t, Alu, 10);
@@ -107,6 +109,7 @@ impl Kernel {
                 ops(&mut t, Alu, 28); // WQE assembly, lkey/rkey, lengths
                 ops(&mut t, Store, 4); // WQE segments
                 ops(&mut t, Mmio, 1); // loopback SQ doorbell
+
                 // Reap loopback completions (amortized) + re-post recv.
                 ops(&mut t, LlcLoad, 3);
                 ops(&mut t, Alu, 14); // reposting batch bookkeeping
@@ -162,6 +165,7 @@ impl Kernel {
                 ops(&mut t, Alu, 12);
                 ops(&mut t, Store, 2);
                 ops(&mut t, Mmio, 1); // occasional ACK doorbell (amortized)
+
                 // Staging → user copy runs on the CPU.
                 ops(&mut t, Memcpy, 1);
                 // Receive re-post + doorbell.
@@ -215,12 +219,7 @@ mod tests {
         let uc = Kernel::new(KernelKind::DpaUc);
         assert!(ud.instructions() > uc.instructions());
         assert!(ud.posts_loopback && !uc.posts_loopback);
-        let mmio = |k: &Kernel| {
-            k.trace
-                .iter()
-                .filter(|o| o.0 == OpClass::Mmio)
-                .count()
-        };
+        let mmio = |k: &Kernel| k.trace.iter().filter(|o| o.0 == OpClass::Mmio).count();
         assert!(mmio(&ud) > mmio(&uc), "UD posts an extra doorbell");
     }
 

@@ -204,23 +204,23 @@ fn rank_main(
                 let layout = plan.imm_layout();
                 let mut staged: Vec<u32> = Vec::new();
                 // Stage one datagram; None = RNR drop (counted).
-                let stage =
-                    |d: crate::fabric::Datagram, staging: &mut StagingRing, staged: &mut Vec<u32>| {
-                        let (coll, psn) = layout.unpack(ImmData(d.imm));
-                        assert_eq!(coll, plan.coll_id(), "crossed collective");
-                        debug_assert_eq!(
-                            plan.subgroup_of(plan.split_psn(psn).1) as usize,
-                            sub,
-                            "chunk on wrong subgroup channel"
-                        );
-                        match staging.receive(psn, &d.payload) {
-                            Some(slot) => staged.push(slot),
-                            None => {
-                                shared.staging_drops[me as usize]
-                                    .fetch_add(1, Ordering::Relaxed);
-                            }
+                let stage = |d: crate::fabric::Datagram,
+                             staging: &mut StagingRing,
+                             staged: &mut Vec<u32>| {
+                    let (coll, psn) = layout.unpack(ImmData(d.imm));
+                    assert_eq!(coll, plan.coll_id(), "crossed collective");
+                    debug_assert_eq!(
+                        plan.subgroup_of(plan.split_psn(psn).1) as usize,
+                        sub,
+                        "chunk on wrong subgroup channel"
+                    );
+                    match staging.receive(psn, &d.payload) {
+                        Some(slot) => staged.push(slot),
+                        None => {
+                            shared.staging_drops[me as usize].fetch_add(1, Ordering::Relaxed);
                         }
-                    };
+                    }
+                };
                 // UC zero-copy landing: the RDMA write placed the whole
                 // chunk; just record it and flip the bit.
                 let land_uc = |d: crate::fabric::Datagram| {
@@ -255,8 +255,7 @@ fn rank_main(
                                 let dst = plan.recv_range(psn);
                                 staging.copy_out_to(slot, &mut w, dst);
                                 if !bitmap.set(psn) {
-                                    shared.duplicates[me as usize]
-                                        .fetch_add(1, Ordering::Relaxed);
+                                    shared.duplicates[me as usize].fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                         }
@@ -502,7 +501,12 @@ fn serve_pending(me: u32, shared: &Shared, st: &mut AppState) {
 
 /// Convenience: an Allgather plan + deterministic pseudo-random send
 /// buffers for `p` ranks of `n` bytes, returning `(plan, bufs)`.
-pub fn allgather_fixture(p: u32, n: usize, subgroups: u32, chains: u32) -> (CollectivePlan, Vec<Vec<u8>>) {
+pub fn allgather_fixture(
+    p: u32,
+    n: usize,
+    subgroups: u32,
+    chains: u32,
+) -> (CollectivePlan, Vec<Vec<u8>>) {
     use mcag_core::plan::CollectiveKind;
     use mcag_verbs::{CollectiveId, ImmLayout, Mtu};
     let plan = CollectivePlan::new(

@@ -116,7 +116,9 @@ impl MemFabric {
                 ctrl_rx: cr,
             });
         }
-        let windows = (0..p).map(|_| Arc::new(Mutex::new(vec![0u8; recv_len]))).collect();
+        let windows = (0..p)
+            .map(|_| Arc::new(Mutex::new(vec![0u8; recv_len])))
+            .collect();
         (
             Arc::new(MemFabric {
                 p,
@@ -193,8 +195,7 @@ impl McastPort {
             // Per-receiver drop: one corrupted copy does not affect the
             // other receivers (tree-internal drops are modeled by the
             // DES fabric; here we exercise the per-receiver slow path).
-            if self.fabric.cfg.drop_prob > 0.0 && self.rng.random_bool(self.fabric.cfg.drop_prob)
-            {
+            if self.fabric.cfg.drop_prob > 0.0 && self.rng.random_bool(self.fabric.cfg.drop_prob) {
                 continue;
             }
             if self.fabric.cfg.reorder_prob > 0.0

@@ -115,6 +115,7 @@ mod tests {
         let s = max_psn_bits_for(DPA_LLC_BYTES, 4096);
         assert_eq!(s.psn_bits, 23, "2^23 chunks = 1 MiB bitmap fits 1.5 MB");
         assert_eq!(s.max_recv_buffer, 1u64 << 35); // 32 GiB with pow-2 bits
+
         // The paper's ~50 GB comes from the non-power-of-two fill of the
         // LLC: 1.5 MB of bitmap = 12.58 M chunks = 51.5 GB.
         let chunks = DPA_LLC_BYTES * 8;
@@ -155,7 +156,11 @@ mod tests {
         // Section III-D(d): "more than 16 communicators will fit in the
         // DPA LLC" with 64 KiB bitmaps and 16 KiB contexts.
         let fp = CommFootprint::paper_example();
-        assert!(fp.fit_in(DPA_LLC_BYTES) > 16, "{}", fp.fit_in(DPA_LLC_BYTES));
+        assert!(
+            fp.fit_in(DPA_LLC_BYTES) > 16,
+            "{}",
+            fp.fit_in(DPA_LLC_BYTES)
+        );
         // An 8 MiB-per-rank, 188-rank Allgather at 4 KiB chunks:
         // 1.5 GiB receive buffer -> 48 KiB bitmap; dozens fit.
         let big = CommFootprint::for_buffer(188 * (8 << 20), 4096);

@@ -98,8 +98,7 @@ mod tests {
         for p in [2u32, 4, 16, 188, 1024] {
             let b = 25e9; // 200 Gbit/s
             let n = 8 << 20;
-            let t_ring =
-                pair_completion_secs(p, n, b, &BandwidthShares::ring_ring(p));
+            let t_ring = pair_completion_secs(p, n, b, &BandwidthShares::ring_ring(p));
             let t_opt = pair_completion_secs(p, n, b, &BandwidthShares::mcast_inc(p));
             let s = t_ring / t_opt;
             assert!(

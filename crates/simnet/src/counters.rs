@@ -125,7 +125,11 @@ impl TrafficReport {
     /// Maximum data bytes observed on any single link — used to verify the
     /// bandwidth-optimality invariant (each byte crosses each link once).
     pub fn max_link_data_bytes(&self) -> u64 {
-        self.per_link.iter().map(|c| c.data_bytes).max().unwrap_or(0)
+        self.per_link
+            .iter()
+            .map(|c| c.data_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     fn sum_where(&self, topo: &Topology, pred: impl Fn(&Topology, LinkId) -> bool) -> u64 {

@@ -86,7 +86,11 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// If `at` is in the past — a causality bug in the model.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, event });

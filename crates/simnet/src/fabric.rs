@@ -38,7 +38,11 @@ enum ArrivalSem {
     TwoSided,
     /// RDMA Read request: target NIC answers in hardware with `resp_len`
     /// bytes, completion tagged `tag` on the requester.
-    ReadReq { resp_len: usize, tag: u64, req_qp: QpNum },
+    ReadReq {
+        resp_len: usize,
+        tag: u64,
+        req_qp: QpNum,
+    },
     /// RDMA Read response arriving back at the requester.
     ReadResp { tag: u64, req_qp: QpNum },
 }
@@ -268,7 +272,10 @@ impl<M: Clone + 'static> Fabric<M> {
         assert!(tree.is_member(rank), "{rank} is not a member of {group:?}");
         let nic = &mut self.inner.nics[rank.idx()];
         assert!(
-            matches!(nic.qps[qp.0 as usize].transport, Transport::Ud | Transport::Uc),
+            matches!(
+                nic.qps[qp.0 as usize].transport,
+                Transport::Ud | Transport::Uc
+            ),
             "only UD/UC QPs can join multicast groups"
         );
         nic.group_attach.insert(group, qp.0 as usize);
@@ -551,14 +558,7 @@ impl<M: Clone + 'static> Inner<M> {
 
     fn unicast_path(&mut self, src: Rank, dst: Rank) -> Arc<[LinkId]> {
         if self.cfg.adaptive_routing {
-            let p = routing::route(
-                &self.topo,
-                src,
-                dst,
-                RouteMode::Adaptive,
-                0,
-                &mut self.rng,
-            );
+            let p = routing::route(&self.topo, src, dst, RouteMode::Adaptive, 0, &mut self.rng);
             return p.into();
         }
         if let Some(p) = self.route_cache.get(&(src.0, dst.0)) {
@@ -853,12 +853,7 @@ impl<M: Clone + 'static> Inner<M> {
         // Forced drop injection (origin, psn, dst) for multicast data.
         if pkt.header.kind == PacketKind::McastData {
             if let Payload::Chunk { origin, psn } = pkt.payload {
-                if self
-                    .cfg
-                    .drops
-                    .forced
-                    .contains(&(origin.0, psn, rank.0))
-                {
+                if self.cfg.drops.forced.contains(&(origin.0, psn, rank.0)) {
                     // Account as a drop on the final delivery link.
                     self.counters[_in_link.idx()].drops += 1;
                     return;
@@ -960,11 +955,7 @@ mod tests {
         }
     }
 
-    fn bcast_fabric(
-        n_ranks: usize,
-        chunks: u32,
-        cfg: FabricConfig,
-    ) -> (Fabric<Msg>, McastGroupId) {
+    fn bcast_fabric(n_ranks: usize, chunks: u32, cfg: FabricConfig) -> (Fabric<Msg>, McastGroupId) {
         let topo = Topology::single_switch(n_ranks, LinkRate::CX3_56G, 100);
         let mut fab: Fabric<Msg> = Fabric::new(topo, cfg);
         let members: Vec<Rank> = (0..n_ranks as u32).map(Rank).collect();

@@ -50,17 +50,18 @@ impl McastTree {
 
         let mut adj: HashMap<NodeId, Vec<LinkId>> = HashMap::new();
         let mut undirected: HashSet<(NodeId, NodeId)> = HashSet::new();
-        let mut add_edge = |topo: &Topology, down_link: LinkId, adj: &mut HashMap<NodeId, Vec<LinkId>>| {
-            let l = topo.link(down_link);
-            let key = (l.src.min(l.dst), l.src.max(l.dst));
-            if undirected.insert(key) {
-                adj.entry(l.src).or_default().push(down_link);
-                adj.entry(l.dst).or_default().push(topo.reverse(down_link));
-                true
-            } else {
-                false
-            }
-        };
+        let mut add_edge =
+            |topo: &Topology, down_link: LinkId, adj: &mut HashMap<NodeId, Vec<LinkId>>| {
+                let l = topo.link(down_link);
+                let key = (l.src.min(l.dst), l.src.max(l.dst));
+                if undirected.insert(key) {
+                    adj.entry(l.src).or_default().push(down_link);
+                    adj.entry(l.dst).or_default().push(topo.reverse(down_link));
+                    true
+                } else {
+                    false
+                }
+            };
 
         let mut edges = 0usize;
         let top = topo.top_level();
@@ -83,8 +84,8 @@ impl McastTree {
                 while !matches!(topo.kind(at), NodeKind::Host(r) if r == m) {
                     let downs = topo.down_toward(at, m);
                     assert!(!downs.is_empty(), "no down-path from {at:?} to {m}");
-                    let pick = (mix64((group.0 as u64) << 32 | m.0 as u64) % downs.len() as u64)
-                        as usize;
+                    let pick =
+                        (mix64((group.0 as u64) << 32 | m.0 as u64) % downs.len() as u64) as usize;
                     let l = downs[pick];
                     if add_edge(topo, l, &mut adj) {
                         edges += 1;
@@ -152,11 +153,7 @@ impl McastTree {
             return Vec::new();
         };
         let back = in_link.map(|l| topo.reverse(l));
-        links
-            .iter()
-            .copied()
-            .filter(|&l| Some(l) != back)
-            .collect()
+        links.iter().copied().filter(|&l| Some(l) != back).collect()
     }
 
     /// All tree nodes (for invariant checks).

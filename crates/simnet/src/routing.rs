@@ -145,7 +145,14 @@ mod tests {
     #[test]
     fn back_to_back_single_hop() {
         let t = Topology::back_to_back(LinkRate::CX7_200G, 50);
-        let p = route(&t, Rank(0), Rank(1), RouteMode::Deterministic, 0, &mut rng());
+        let p = route(
+            &t,
+            Rank(0),
+            Rank(1),
+            RouteMode::Deterministic,
+            0,
+            &mut rng(),
+        );
         assert_eq!(p.len(), 1);
         assert!(path_is_valid(&t, Rank(0), Rank(1), &p));
     }
@@ -153,7 +160,14 @@ mod tests {
     #[test]
     fn star_two_hops() {
         let t = Topology::single_switch(5, LinkRate::CX3_56G, 50);
-        let p = route(&t, Rank(1), Rank(4), RouteMode::Deterministic, 0, &mut rng());
+        let p = route(
+            &t,
+            Rank(1),
+            Rank(4),
+            RouteMode::Deterministic,
+            0,
+            &mut rng(),
+        );
         assert_eq!(p.len(), 2);
         assert!(path_is_valid(&t, Rank(1), Rank(4), &p));
     }
@@ -162,7 +176,14 @@ mod tests {
     fn same_leaf_stays_local() {
         let t = Topology::ucc_testbed();
         // Ranks 0 and 1 share leaf 0: path must be host->leaf->host.
-        let p = route(&t, Rank(0), Rank(1), RouteMode::Deterministic, 0, &mut rng());
+        let p = route(
+            &t,
+            Rank(0),
+            Rank(1),
+            RouteMode::Deterministic,
+            0,
+            &mut rng(),
+        );
         assert_eq!(p.len(), 2);
         assert!(path_is_valid(&t, Rank(0), Rank(1), &p));
     }
@@ -170,7 +191,14 @@ mod tests {
     #[test]
     fn cross_leaf_goes_through_spine() {
         let t = Topology::ucc_testbed();
-        let p = route(&t, Rank(0), Rank(187), RouteMode::Deterministic, 0, &mut rng());
+        let p = route(
+            &t,
+            Rank(0),
+            Rank(187),
+            RouteMode::Deterministic,
+            0,
+            &mut rng(),
+        );
         assert_eq!(p.len(), 4, "host-leaf-spine-leaf-host");
         assert!(path_is_valid(&t, Rank(0), Rank(187), &p));
     }
@@ -194,8 +222,22 @@ mod tests {
     #[test]
     fn deterministic_routes_are_stable() {
         let t = Topology::ucc_testbed();
-        let a = route(&t, Rank(3), Rank(99), RouteMode::Deterministic, 1, &mut rng());
-        let b = route(&t, Rank(3), Rank(99), RouteMode::Deterministic, 1, &mut rng());
+        let a = route(
+            &t,
+            Rank(3),
+            Rank(99),
+            RouteMode::Deterministic,
+            1,
+            &mut rng(),
+        );
+        let b = route(
+            &t,
+            Rank(3),
+            Rank(99),
+            RouteMode::Deterministic,
+            1,
+            &mut rng(),
+        );
         assert_eq!(a, b);
     }
 

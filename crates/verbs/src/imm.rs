@@ -81,7 +81,11 @@ impl ImmLayout {
     /// a runtime condition.
     #[inline]
     pub fn pack(self, coll: CollectiveId, psn: u32) -> ImmData {
-        assert!(psn <= self.max_psn(), "PSN {psn} exceeds {} bits", self.psn_bits);
+        assert!(
+            psn <= self.max_psn(),
+            "PSN {psn} exceeds {} bits",
+            self.psn_bits
+        );
         assert!(
             coll.0 <= self.max_coll_id(),
             "collective id {} exceeds {} bits",

@@ -50,7 +50,14 @@ fn main() {
     };
     println!("\nUD thread scaling on one core against a 200 Gbit/s link:");
     for t in [1u32, 2, 4, 8, 16] {
-        let m = run_datapath(&spec, &Kernel::new(KernelKind::DpaUd), t, 4096, 20_000, link);
+        let m = run_datapath(
+            &spec,
+            &Kernel::new(KernelKind::DpaUd),
+            t,
+            4096,
+            20_000,
+            link,
+        );
         let bar = "#".repeat((m.goodput_gbps / 4.0) as usize);
         println!("  {t:>2} threads: {:>6.1} Gbit/s {bar}", m.goodput_gbps);
     }

@@ -40,9 +40,7 @@ fn report(name: &str, traffic: &TrafficReport) {
 
 fn main() {
     let n = 64 << 10;
-    println!(
-        "Allgather of 64 KiB x 188 ranks on the 18-switch fat-tree (12 leaves, 6 spines)\n"
-    );
+    println!("Allgather of 64 KiB x 188 ranks on the 18-switch fat-tree (12 leaves, 6 spines)\n");
 
     let mc = des::run_collective(
         Topology::ucc_testbed(),

@@ -1,0 +1,158 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided, implemented over `std::sync::mpsc`.
+//! The workspace uses single-consumer channels exclusively, so mpsc semantics
+//! match; `Sender` is cloneable and both endpoints are `Send`.
+
+/// Channels mirroring `crossbeam::channel`'s API surface used here.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline.
+        Timeout,
+        /// All senders dropped and the queue is empty.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue currently empty.
+        Empty,
+        /// All senders dropped and the queue is empty.
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        tx: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value, blocking on a full bounded channel.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.tx {
+                Tx::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Tx::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+            self.rx.recv().map_err(|_| RecvTimeoutError::Disconnected)
+        }
+
+        /// Block up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Drain until disconnected (blocking iterator).
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.rx.iter()
+        }
+
+        /// Drain whatever is currently queued without blocking.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.rx.try_iter()
+        }
+    }
+
+    /// Create a channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                tx: Tx::Unbounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+
+    /// Create a channel that holds at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                tx: Tx::Bounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(41u32).unwrap();
+            tx.clone().send(42).unwrap();
+            assert_eq!(rx.try_recv(), Ok(41));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(42));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn bounded_timeout() {
+            let (_tx, rx) = bounded::<u8>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides marker `Serialize`/`Deserialize` traits and re-exports the no-op
+//! derives from the sibling `serde_derive` shim. The workspace derives these
+//! traits on data types for forward compatibility but never serializes at
+//! runtime, so empty traits are sufficient for a green build.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

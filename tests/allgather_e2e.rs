@@ -237,8 +237,5 @@ fn deterministic_at_scale() {
     let b = run();
     assert_eq!(a.completion_ns(), b.completion_ns());
     assert_eq!(a.stats.events, b.stats.events);
-    assert_eq!(
-        a.traffic.total_data_bytes(),
-        b.traffic.total_data_bytes()
-    );
+    assert_eq!(a.traffic.total_data_bytes(), b.traffic.total_data_bytes());
 }

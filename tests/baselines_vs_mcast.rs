@@ -104,7 +104,10 @@ fn mcast_broadcast_beats_every_p2p_tree_at_large_sizes() {
         );
     }
     // The paper's extremes: best P2P within ~2x, binary tree much worse.
-    assert!(mc_gbps / chain < 3.0, "chain too weak: {mc_gbps:.1}/{chain:.1}");
+    assert!(
+        mc_gbps / chain < 3.0,
+        "chain too weak: {mc_gbps:.1}/{chain:.1}"
+    );
     assert!(mc_gbps / btree > 3.0, "binary tree unexpectedly strong");
 }
 
@@ -122,7 +125,12 @@ fn mcast_send_volume_constant_in_p() {
             CollectiveKind::Allgather,
             n,
         );
-        let ring = run_p2p(topo(), FabricConfig::ideal(), ring_allgather(p as u32, n), 16 << 10);
+        let ring = run_p2p(
+            topo(),
+            FabricConfig::ideal(),
+            ring_allgather(p as u32, n),
+            16 << 10,
+        );
         let t = topo();
         let mc_inject_data: u64 = mc
             .traffic

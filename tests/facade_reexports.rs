@@ -1,0 +1,65 @@
+//! Workspace-wiring smoke test: every layer the facade re-exports must be
+//! reachable through `mcast_allgather::` and one representative type from
+//! each must construct. Catches broken `pub use` edges and manifest
+//! mis-wiring before any deeper test runs.
+
+use mcast_allgather::verbs::LinkRate;
+
+#[test]
+fn verbs_reachable_and_constructs() {
+    let mtu = mcast_allgather::verbs::Mtu::IB_4K;
+    assert_eq!(mtu.chunks_for(4096), 1);
+    let rank = mcast_allgather::verbs::Rank(3);
+    assert_eq!(rank.0, 3);
+}
+
+#[test]
+fn simnet_reachable_and_constructs() {
+    let topo = mcast_allgather::simnet::Topology::single_switch(4, LinkRate::CX3_56G, 100);
+    assert_eq!(topo.num_hosts(), 4);
+    let _cfg = mcast_allgather::simnet::FabricConfig::ucc_default();
+}
+
+#[test]
+fn core_reachable_and_constructs() {
+    use mcast_allgather::verbs::{CollectiveId, ImmLayout, Mtu};
+    let _cfg = mcast_allgather::core::ProtocolConfig::default();
+    let plan = mcast_allgather::core::CollectivePlan::new(
+        mcast_allgather::core::CollectiveKind::Allgather,
+        4,
+        64 << 10,
+        Mtu::IB_4K,
+        ImmLayout::DEFAULT,
+        CollectiveId(1),
+        1,
+        1,
+    );
+    assert!(plan.total_chunks() > 0);
+    let bm = mcast_allgather::core::ChunkBitmap::new(16);
+    assert_eq!(bm.count(), 0);
+}
+
+#[test]
+fn baselines_reachable_and_constructs() {
+    let sched = mcast_allgather::baselines::ring_allgather(4, 4096);
+    assert_eq!(sched.len(), 4);
+}
+
+#[test]
+fn dpa_reachable_and_constructs() {
+    let spec = mcast_allgather::dpa::DpaSpec::bf3();
+    assert!(spec.total_threads() > 0);
+}
+
+#[test]
+fn models_reachable_and_constructs() {
+    let sizing = mcast_allgather::models::BitmapSizing::new(24, 4096);
+    assert!(sizing.fits(u64::MAX));
+}
+
+#[test]
+fn memfabric_reachable_and_constructs() {
+    let bm = mcast_allgather::memfabric::AtomicBitmap::new(64);
+    assert!(bm.set(7));
+    assert!(!bm.set(7));
+}
