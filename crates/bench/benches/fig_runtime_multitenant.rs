@@ -1,0 +1,22 @@
+//! Runtime-layer bench: multi-tenant scheduling, tenant count ×
+//! group-pool capacity (see `mcag_bench::runtimefigs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_bench::runtimefigs::run_scenario;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_runtime_multitenant");
+    g.sample_size(10);
+    for tenants in [4usize, 8, 16] {
+        for capacity in [2usize, 8] {
+            g.bench_function(format!("tenants{tenants}_pool{capacity}"), |b| {
+                b.iter(|| black_box(run_scenario(tenants, capacity)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

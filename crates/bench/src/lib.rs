@@ -29,6 +29,7 @@ pub mod data;
 pub mod dpafigs;
 pub mod modelfigs;
 pub mod netfigs;
+pub mod runtimefigs;
 
 pub use data::FigData;
 
@@ -46,6 +47,7 @@ pub const ABLATIONS: &[&str] = &[
     "ablation_cutoff",
     "ablation_rq_depth",
     "ablation_multicomm",
+    "runtime_multitenant",
 ];
 
 /// Run one generator by id.
@@ -69,6 +71,7 @@ pub fn generate(id: &str) -> FigData {
         "ablation_cutoff" => ablations::ablation_cutoff(),
         "ablation_rq_depth" => ablations::ablation_rq_depth(),
         "ablation_multicomm" => ablations::ablation_multicomm(),
+        "runtime_multitenant" => runtimefigs::runtime_multitenant(),
         other => panic!("unknown figure id {other:?} (known: {ALL_FIGS:?} + {ABLATIONS:?})"),
     }
 }

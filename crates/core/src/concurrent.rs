@@ -24,7 +24,12 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-const RS_TX_TOKEN: u64 = 5;
+/// Drain-notification token used by [`IncRsApp`] (offset by the
+/// instance's token base when several protocols share one rank; composite
+/// apps route `token % TOKEN_STRIDE == RS_TX_TOKEN` to the RS endpoint).
+/// Distinct from [`crate::protocol::McastRankApp`]'s cutoff timer (1) and
+/// TX-drain tokens (≥ 16) so the two can share a token namespace.
+pub const RS_TX_TOKEN: u64 = 5;
 
 /// Per-rank `(start, end)` completion records, filled as ranks finish.
 pub type RsTimes = Rc<RefCell<Vec<Option<(SimTime, SimTime)>>>>;
@@ -46,6 +51,7 @@ pub struct IncRsApp {
     tx_done: bool,
     released: bool,
     auto_mark_done: bool,
+    token_base: u64,
     t_start: SimTime,
     t_done: Option<SimTime>,
     results: RsTimes,
@@ -80,6 +86,7 @@ impl IncRsApp {
             tx_done: false,
             released: false,
             auto_mark_done: true,
+            token_base: 0,
             t_start: SimTime::ZERO,
             t_done: None,
             results,
@@ -89,6 +96,13 @@ impl IncRsApp {
     /// Disable automatic `mark_done` (composite drivers).
     pub fn set_auto_mark_done(&mut self, auto: bool) {
         self.auto_mark_done = auto;
+    }
+
+    /// Namespace this instance's drain token (communicator index times
+    /// [`TOKEN_STRIDE`](crate::protocol::TOKEN_STRIDE)) so several
+    /// protocol instances sharing one rank never collide.
+    pub fn set_token_base(&mut self, base: u64) {
+        self.token_base = base;
     }
 
     /// Finished (shard received and contributions drained)?
@@ -133,7 +147,7 @@ impl RankApp<ControlMsg> for IncRsApp {
                 );
             }
         }
-        ctx.notify_tx_drained(self.qp, RS_TX_TOKEN);
+        ctx.notify_tx_drained(self.qp, self.token_base + RS_TX_TOKEN);
     }
 
     fn on_cqe(&mut self, ctx: &mut Ctx<'_, ControlMsg>, cqe: Cqe, _payload: Payload<ControlMsg>) {
@@ -151,7 +165,7 @@ impl RankApp<ControlMsg> for IncRsApp {
     }
 
     fn on_tx_drained(&mut self, ctx: &mut Ctx<'_, ControlMsg>, token: u64) {
-        assert_eq!(token, RS_TX_TOKEN);
+        assert_eq!(token, self.token_base + RS_TX_TOKEN);
         self.tx_done = true;
         self.maybe_done(ctx);
     }
@@ -272,14 +286,9 @@ pub fn run_concurrent_ag_rs(
     ));
     let mut fab: Fabric<ControlMsg> = Fabric::new(topo, fabric_cfg.clone());
 
-    let host_link = *fab
-        .topology()
-        .link(fab.topology().uplinks(fab.topology().host_node(Rank(0)))[0]);
     // The pair roughly doubles the drain time of each collective (they
     // share the NIC), so give the AG cutoff 3× the usual headroom.
-    let drain_ns = host_link.rate.serialization_ns(plan.recv_len()) * 3;
-    let steps = plan.sequencer().num_steps() as u64;
-    let cutoff_ns = drain_ns + proto.cutoff_alpha_ns + proto.cutoff_per_step_ns * steps;
+    let cutoff = crate::des::cutoff_ns(fab.topology(), &plan, &proto, 3);
 
     let members: Vec<Rank> = (0..p).map(Rank).collect();
     let n_workers = fabric_cfg.host.rx_workers.max(1);
@@ -309,7 +318,7 @@ pub fn run_concurrent_ag_rs(
                 subgroup_qps,
                 groups: ag_groups.clone(),
             },
-            cutoff_ns,
+            cutoff,
             Rc::clone(&ag_results),
         );
         let rs = IncRsApp::new(

@@ -101,6 +101,26 @@ impl CollectivePlan {
     }
 }
 
+/// Reliability cutoff timer for `plan` on `topo` (Section III-C): the
+/// ideal drain time of the receive buffer at the host link rate scaled by
+/// `headroom` (collectives sharing the NIC stretch the drain
+/// proportionally), plus the configured fixed slack and per-schedule-step
+/// slack for activation handoffs.
+pub fn cutoff_ns(
+    topo: &Topology,
+    plan: &CollectivePlan,
+    proto: &ProtocolConfig,
+    headroom: u64,
+) -> u64 {
+    let host_link = *topo.link(topo.uplinks(topo.host_node(Rank(0)))[0]);
+    let drain_ns = host_link
+        .rate
+        .serialization_ns(plan.recv_len())
+        .saturating_mul(headroom.max(1));
+    let steps = plan.sequencer().num_steps() as u64;
+    drain_ns + proto.cutoff_alpha_ns + proto.cutoff_per_step_ns * steps
+}
+
 /// Run one multicast collective on `topo`.
 pub fn run_collective(
     topo: Topology,
@@ -124,12 +144,7 @@ pub fn run_collective(
 
     // Cutoff timer: ideal drain time of the receive buffer at the host
     // link rate, plus slack (Section III-C).
-    let host_link = *fab
-        .topology()
-        .link(fab.topology().uplinks(fab.topology().host_node(Rank(0)))[0]);
-    let drain_ns = host_link.rate.serialization_ns(plan.recv_len());
-    let steps = plan.sequencer().num_steps() as u64;
-    let cutoff_ns = drain_ns + proto.cutoff_alpha_ns + proto.cutoff_per_step_ns * steps;
+    let cutoff = cutoff_ns(fab.topology(), &plan, &proto, 1);
 
     let members: Vec<Rank> = (0..p).map(Rank).collect();
     let n_workers = fabric_cfg.host.rx_workers.max(1);
@@ -157,7 +172,7 @@ pub fn run_collective(
                 Arc::clone(&plan),
                 r,
                 layout,
-                cutoff_ns,
+                cutoff,
                 Rc::clone(&results),
             )),
         );

@@ -54,9 +54,11 @@ pub mod sequencer;
 pub mod staging;
 
 pub use bitmap::ChunkBitmap;
-pub use concurrent::{run_concurrent_ag_rs, run_inc_reduce_scatter, AgRsDuplexApp, IncRsApp};
+pub use concurrent::{
+    run_concurrent_ag_rs, run_inc_reduce_scatter, AgRsDuplexApp, IncRsApp, RS_TX_TOKEN,
+};
 pub use config::ProtocolConfig;
-pub use des::{run_collective, run_iterations, CollectiveOutcome};
+pub use des::{cutoff_ns, run_collective, run_iterations, CollectiveOutcome};
 pub use msg::ControlMsg;
 pub use multicomm::{run_concurrent_allgathers, MultiCommApp, MultiCommOutcome};
 pub use plan::{CollectiveKind, CollectivePlan};

@@ -127,10 +127,6 @@ pub fn run_concurrent_allgathers(
     let members: Vec<Rank> = (0..p).map(Rank).collect();
     let n_workers = fabric_cfg.host.rx_workers.max(1);
 
-    let host_link = *fab
-        .topology()
-        .link(fab.topology().uplinks(fab.topology().host_node(Rank(0)))[0]);
-
     // Per-communicator plans, groups, and result sinks.
     let mut plans = Vec::with_capacity(k);
     let mut groups_per_comm = Vec::with_capacity(k);
@@ -158,12 +154,7 @@ pub fn run_concurrent_allgathers(
     }
 
     // k communicators share the link: give the cutoff k× the headroom.
-    let drain_ns = host_link
-        .rate
-        .serialization_ns(plans[0].recv_len())
-        .saturating_mul(k as u64 + 1);
-    let steps = plans[0].sequencer().num_steps() as u64;
-    let cutoff_ns = drain_ns + proto.cutoff_alpha_ns + proto.cutoff_per_step_ns * steps;
+    let cutoff = crate::des::cutoff_ns(fab.topology(), &plans[0], &proto, k as u64 + 1);
 
     for &r in &members {
         let mut apps = Vec::with_capacity(k);
@@ -188,7 +179,7 @@ pub fn run_concurrent_allgathers(
                     subgroup_qps,
                     groups: groups_per_comm[c].clone(),
                 },
-                cutoff_ns,
+                cutoff,
                 Rc::clone(&results[c]),
             ));
         }

@@ -1,0 +1,290 @@
+//! Tenants, job specifications, admission control, and the pending queue.
+
+use mcag_verbs::Rank;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A logical tenant (training job, user, framework instance) submitting
+/// collectives to the shared runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// Tenant as a usable index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Runtime-unique job identifier, in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Which collective a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// One root multicasts `send_len` bytes to every rank.
+    Broadcast {
+        /// The broadcasting rank.
+        root: Rank,
+    },
+    /// Every rank contributes `send_len` bytes; all end with `N·P`.
+    Allgather,
+    /// The FSDP pair: multicast Allgather concurrent with an in-network
+    /// Reduce-Scatter on the same ranks (Section II of the paper). Needs
+    /// one extra multicast group for the reduction tree.
+    AgRs,
+}
+
+impl JobKind {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Broadcast { .. } => "bcast",
+            JobKind::Allgather => "allgather",
+            JobKind::AgRs => "ag+rs",
+        }
+    }
+}
+
+/// One submitted collective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Collective kind.
+    pub kind: JobKind,
+    /// Bytes contributed per root (`N`).
+    pub send_len: usize,
+}
+
+/// Why a submission was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The tenant id was never registered.
+    UnknownTenant,
+    /// The runtime-wide pending queue is at capacity.
+    QueueFull,
+    /// This tenant already has its quota of pending jobs.
+    TenantQuota,
+    /// `send_len` exceeds the admission policy's maximum.
+    TooLarge,
+    /// `send_len` is zero.
+    Empty,
+    /// A broadcast root outside the rank range.
+    InvalidRoot,
+    /// The job needs more multicast groups than the pool holds, so it
+    /// could never be scheduled.
+    GroupDemand,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RejectReason::UnknownTenant => "unknown tenant",
+            RejectReason::QueueFull => "runtime queue full",
+            RejectReason::TenantQuota => "tenant pending-job quota exceeded",
+            RejectReason::TooLarge => "message exceeds admission size limit",
+            RejectReason::Empty => "empty message",
+            RejectReason::InvalidRoot => "broadcast root out of range",
+            RejectReason::GroupDemand => "job needs more groups than the pool holds",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Admission-control thresholds applied at submit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Max pending jobs across all tenants.
+    pub max_queued_total: usize,
+    /// Max pending jobs per tenant (back-pressure on noisy neighbours).
+    pub max_queued_per_tenant: usize,
+    /// Max `send_len` in bytes.
+    pub max_send_len: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy {
+            max_queued_total: 1024,
+            max_queued_per_tenant: 64,
+            max_send_len: 64 << 20,
+        }
+    }
+}
+
+/// An admitted job waiting to be scheduled.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingJob {
+    /// Job id.
+    pub id: JobId,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Virtual time of submission (ns).
+    pub submitted_ns: u64,
+    /// Distinct multicast groups the job pins while running.
+    pub group_demand: u32,
+}
+
+/// Per-tenant FIFO queues drained fairly by the scheduler.
+///
+/// A tenant's jobs execute in submission order (a communicator's
+/// collectives are ordered), so a batch takes **at most one job per
+/// tenant**; the round-robin cursor rotates the starting tenant so no
+/// tenant is structurally favoured.
+#[derive(Debug, Clone, Default)]
+pub struct JobQueue {
+    per_tenant: Vec<VecDeque<PendingJob>>,
+    len: usize,
+    cursor: usize,
+}
+
+impl JobQueue {
+    /// Empty queue with no tenants.
+    pub fn new() -> JobQueue {
+        JobQueue::default()
+    }
+
+    /// Add a tenant lane (called on registration).
+    pub fn add_tenant(&mut self) {
+        self.per_tenant.push(VecDeque::new());
+    }
+
+    /// Pending jobs across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No pending jobs?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pending jobs for one tenant.
+    pub fn queued_for(&self, tenant: TenantId) -> usize {
+        self.per_tenant.get(tenant.idx()).map_or(0, VecDeque::len)
+    }
+
+    /// Enqueue an admitted job.
+    pub fn push(&mut self, job: PendingJob) {
+        self.per_tenant[job.spec.tenant.idx()].push_back(job);
+        self.len += 1;
+    }
+
+    /// Pick the next fair batch: starting from the rotating cursor, take
+    /// the head-of-line job of each tenant whose group demand still fits
+    /// in `group_budget`, stopping at `max_jobs` jobs. One pass over the
+    /// tenants, at most one job each.
+    pub fn pick_batch(&mut self, max_jobs: usize, group_budget: usize) -> Vec<PendingJob> {
+        let n = self.per_tenant.len();
+        let mut picked = Vec::new();
+        let mut budget = group_budget;
+        if n == 0 {
+            return picked;
+        }
+        let start = self.cursor;
+        for off in 0..n {
+            if picked.len() >= max_jobs {
+                break;
+            }
+            let t = (start + off) % n;
+            let Some(head) = self.per_tenant[t].front() else {
+                continue;
+            };
+            if head.group_demand as usize > budget {
+                continue; // doesn't fit this batch; its turn comes first next time
+            }
+            budget -= head.group_demand as usize;
+            let job = self.per_tenant[t].pop_front().expect("front checked");
+            self.len -= 1;
+            self.cursor = (t + 1) % n;
+            picked.push(job);
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(t: u32, id: u64, demand: u32) -> PendingJob {
+        PendingJob {
+            id: JobId(id),
+            spec: JobSpec {
+                tenant: TenantId(t),
+                kind: JobKind::Allgather,
+                send_len: 4096,
+            },
+            submitted_ns: 0,
+            group_demand: demand,
+        }
+    }
+
+    fn queue(tenants: u32) -> JobQueue {
+        let mut q = JobQueue::new();
+        for _ in 0..tenants {
+            q.add_tenant();
+        }
+        q
+    }
+
+    #[test]
+    fn batch_is_one_job_per_tenant() {
+        let mut q = queue(3);
+        q.push(job(0, 0, 1));
+        q.push(job(0, 1, 1));
+        q.push(job(1, 2, 1));
+        let batch = q.pick_batch(8, 8);
+        let ids: Vec<u64> = batch.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![0, 2], "one job per tenant, FIFO within tenant");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cursor_rotates_fairly() {
+        let mut q = queue(4);
+        for t in 0..4 {
+            q.push(job(t, t as u64, 1));
+            q.push(job(t, 4 + t as u64, 1));
+        }
+        let b1 = q.pick_batch(2, 8);
+        assert_eq!(b1[0].spec.tenant, TenantId(0));
+        assert_eq!(b1[1].spec.tenant, TenantId(1));
+        let b2 = q.pick_batch(2, 8);
+        assert_eq!(
+            b2[0].spec.tenant,
+            TenantId(2),
+            "next batch starts where the last stopped"
+        );
+        assert_eq!(b2[1].spec.tenant, TenantId(3));
+    }
+
+    #[test]
+    fn group_budget_caps_batch() {
+        let mut q = queue(3);
+        q.push(job(0, 0, 2));
+        q.push(job(1, 1, 2));
+        q.push(job(2, 2, 1));
+        let batch = q.pick_batch(8, 3);
+        // Tenant 0 (2 groups) + tenant 2 (1 group) fit; tenant 1 must wait.
+        let ids: Vec<u64> = batch.iter().map(|j| j.id.0).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(q.len(), 1);
+    }
+}

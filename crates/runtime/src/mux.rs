@@ -1,0 +1,130 @@
+//! The per-rank multiplexer: one batch of tenant jobs shares every rank,
+//! so a composite [`RankApp`] routes fabric callbacks to the right job's
+//! protocol endpoint — completions by QP ownership, timers and TX-drain
+//! signals by token namespace (slot `i` owns tokens
+//! `[i·TOKEN_STRIDE, (i+1)·TOKEN_STRIDE)`).
+
+use mcag_core::protocol::TOKEN_STRIDE;
+use mcag_core::{ControlMsg, IncRsApp, McastRankApp, RS_TX_TOKEN};
+use mcag_simnet::{Ctx, Payload, RankApp};
+use mcag_verbs::{Cqe, QpNum};
+
+/// One scheduled job's endpoint(s) on a rank.
+pub(crate) enum SlotApp {
+    /// Broadcast or Allgather.
+    Coll(McastRankApp),
+    /// The FSDP pair: Allgather + in-network Reduce-Scatter.
+    AgRs {
+        ag: McastRankApp,
+        rs: IncRsApp,
+        rs_qp: QpNum,
+    },
+}
+
+impl SlotApp {
+    fn released(&self) -> bool {
+        match self {
+            SlotApp::Coll(a) => a.is_released(),
+            SlotApp::AgRs { ag, rs, .. } => ag.is_released() && rs.is_released(),
+        }
+    }
+}
+
+/// Composite rank app hosting every job of one batch.
+pub(crate) struct TenantMuxApp {
+    slots: Vec<SlotApp>,
+    /// `qp_owner[qp]` = slot index owning that rank-local QP.
+    qp_owner: Vec<usize>,
+    marked: bool,
+}
+
+impl TenantMuxApp {
+    /// Compose the batch's endpoints. Like `MultiCommApp::new`, this owns
+    /// the composition convention: slot `i` gets token base
+    /// `i·TOKEN_STRIDE` and auto-mark-done disabled — callers never set
+    /// either by hand.
+    pub(crate) fn new(mut slots: Vec<SlotApp>, qp_owner: Vec<usize>) -> TenantMuxApp {
+        assert!(!slots.is_empty());
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let base = i as u64 * TOKEN_STRIDE;
+            match slot {
+                SlotApp::Coll(a) => {
+                    a.set_auto_mark_done(false);
+                    a.set_token_base(base);
+                }
+                SlotApp::AgRs { ag, rs, .. } => {
+                    ag.set_auto_mark_done(false);
+                    ag.set_token_base(base);
+                    rs.set_auto_mark_done(false);
+                    rs.set_token_base(base);
+                }
+            }
+        }
+        TenantMuxApp {
+            slots,
+            qp_owner,
+            marked: false,
+        }
+    }
+
+    fn maybe_mark(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
+        if !self.marked && self.slots.iter().all(SlotApp::released) {
+            self.marked = true;
+            ctx.mark_done();
+        }
+    }
+}
+
+impl RankApp<ControlMsg> for TenantMuxApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
+        for slot in &mut self.slots {
+            match slot {
+                SlotApp::Coll(a) => a.on_start(ctx),
+                SlotApp::AgRs { ag, rs, .. } => {
+                    ag.on_start(ctx);
+                    rs.on_start(ctx);
+                }
+            }
+        }
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_, ControlMsg>, cqe: Cqe, payload: Payload<ControlMsg>) {
+        let owner = self.qp_owner[cqe.qp.0 as usize];
+        match &mut self.slots[owner] {
+            SlotApp::Coll(a) => a.on_cqe(ctx, cqe, payload),
+            SlotApp::AgRs { ag, rs, rs_qp } => {
+                if cqe.qp == *rs_qp {
+                    rs.on_cqe(ctx, cqe, payload);
+                } else {
+                    ag.on_cqe(ctx, cqe, payload);
+                }
+            }
+        }
+        self.maybe_mark(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ControlMsg>, token: u64) {
+        let owner = (token / TOKEN_STRIDE) as usize;
+        match &mut self.slots[owner] {
+            SlotApp::Coll(a) => a.on_timer(ctx, token),
+            // The RS endpoint arms no timers; within a slot, timers are AG's.
+            SlotApp::AgRs { ag, .. } => ag.on_timer(ctx, token),
+        }
+        self.maybe_mark(ctx);
+    }
+
+    fn on_tx_drained(&mut self, ctx: &mut Ctx<'_, ControlMsg>, token: u64) {
+        let owner = (token / TOKEN_STRIDE) as usize;
+        match &mut self.slots[owner] {
+            SlotApp::Coll(a) => a.on_tx_drained(ctx, token),
+            SlotApp::AgRs { ag, rs, .. } => {
+                if token % TOKEN_STRIDE == RS_TX_TOKEN {
+                    rs.on_tx_drained(ctx, token);
+                } else {
+                    ag.on_tx_drained(ctx, token);
+                }
+            }
+        }
+        self.maybe_mark(ctx);
+    }
+}

@@ -1,0 +1,558 @@
+//! The runtime scheduler: admits jobs, batches them fairly across
+//! tenants, arbitrates the multicast-group table, and drives each batch
+//! over a fresh DES fabric while a virtual clock threads the batches into
+//! one continuous service timeline.
+//!
+//! ## Execution model
+//!
+//! Time is virtual nanoseconds. A **batch** is dispatched by taking at
+//! most one head-of-line job per tenant (round-robin over a rotating
+//! cursor) until [`RuntimeConfig::max_inflight`] jobs are picked or the
+//! batch's distinct multicast-group demand would exceed the pool
+//! capacity. Group acquisition charges subnet-manager programming time
+//! (`build`/`rebuild`) on the clock *before* data flies; the batch then
+//! runs to quiescence on a dedicated [`Fabric`] whose group table is
+//! capped at the pool capacity, so the resource model is enforced at the
+//! switch level too. Jobs in one batch genuinely contend: they share
+//! every NIC's round-robin QP arbiter and every fabric link.
+
+use crate::job::{
+    AdmissionPolicy, JobId, JobKind, JobQueue, JobSpec, PendingJob, RejectReason, TenantId,
+};
+use crate::mux::{SlotApp, TenantMuxApp};
+use crate::pool::{AcquireOutcome, GroupKey, McastGroupPool, PoolConfig};
+use crate::stats::{JobRecord, RuntimeReport, TenantStats};
+use mcag_core::concurrent::RsTimes;
+use mcag_core::protocol::{QpLayout, RankTiming};
+use mcag_core::ProtocolConfig;
+use mcag_core::{des, CollectiveKind, CollectivePlan, ControlMsg, IncRsApp, McastRankApp};
+use mcag_simnet::{Fabric, FabricConfig, SimTime, Topology};
+use mcag_verbs::{CollectiveId, McastGroupId, Rank, Transport};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Group-key index reserved for a tenant's in-network-reduction tree
+/// (subgroup trees use `0..S`).
+const RS_GROUP_INDEX: u32 = u32::MAX;
+
+/// Everything the runtime needs to know up front.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Fabric model shared by every batch (per-batch seeds derive from
+    /// `fabric.seed`, so runs are deterministic end to end).
+    pub fabric: FabricConfig,
+    /// Protocol knobs applied to every job.
+    pub proto: ProtocolConfig,
+    /// Multicast-group pool (the switch table).
+    pub pool: PoolConfig,
+    /// Submit-time admission thresholds.
+    pub admission: AdmissionPolicy,
+    /// Max jobs dispatched into one batch.
+    pub max_inflight: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            fabric: FabricConfig::ucc_default(),
+            proto: ProtocolConfig::default(),
+            pool: PoolConfig::default(),
+            admission: AdmissionPolicy::default(),
+            max_inflight: 8,
+        }
+    }
+}
+
+/// What one dispatched batch did (returned by
+/// [`Runtime::run_next_batch`] for introspection; the per-job view lands
+/// in [`JobRecord`]s).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Batch index.
+    pub index: u64,
+    /// Virtual time the batch was dispatched.
+    pub started_ns: u64,
+    /// Subnet-manager group programming time charged before launch.
+    pub setup_ns: u64,
+    /// Fabric time from launch to quiescence.
+    pub batch_ns: u64,
+    /// Jobs that ran.
+    pub jobs: Vec<JobId>,
+}
+
+/// The long-lived multi-tenant collective runtime.
+pub struct Runtime {
+    topo: Topology,
+    cfg: RuntimeConfig,
+    pool: McastGroupPool,
+    queue: JobQueue,
+    tenants: Vec<TenantStats>,
+    records: Vec<JobRecord>,
+    now_ns: u64,
+    next_job: u64,
+    batches: u64,
+    delivered_bytes: u64,
+    moved_bytes: u64,
+}
+
+impl Runtime {
+    /// Create a runtime serving collectives on `topo`.
+    pub fn new(topo: Topology, cfg: RuntimeConfig) -> Runtime {
+        assert!(topo.num_hosts() >= 2, "runtime needs at least two ranks");
+        assert!(cfg.max_inflight >= 1, "max_inflight must be positive");
+        let pool = McastGroupPool::new(cfg.pool);
+        Runtime {
+            topo,
+            cfg,
+            pool,
+            queue: JobQueue::new(),
+            tenants: Vec::new(),
+            records: Vec::new(),
+            now_ns: 0,
+            next_job: 0,
+            batches: 0,
+            delivered_bytes: 0,
+            moved_bytes: 0,
+        }
+    }
+
+    /// Register a tenant; its id indexes the per-tenant stats.
+    pub fn register_tenant(&mut self, name: &str) -> TenantId {
+        let id = TenantId(self.tenants.len() as u32);
+        self.tenants.push(TenantStats::new(name));
+        self.queue.add_tenant();
+        id
+    }
+
+    /// Current virtual time (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Jobs waiting to be scheduled.
+    pub fn pending_jobs(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Group-pool handle (counters, residency).
+    pub fn pool(&self) -> &McastGroupPool {
+        &self.pool
+    }
+
+    /// Distinct multicast groups a job pins while running: one tree per
+    /// subgroup (clamped to the chunk count, as the plan does) plus the
+    /// reduction tree for AG+RS jobs.
+    pub fn group_demand(&self, kind: JobKind, send_len: usize) -> u32 {
+        let chunks = (self.cfg.proto.mtu.chunks_for(send_len) as u32).max(1);
+        let subs = self.cfg.proto.subgroups.clamp(1, chunks);
+        subs + matches!(kind, JobKind::AgRs) as u32
+    }
+
+    /// Submit a collective. Admission control runs here: the job is
+    /// either queued (`Ok`) or refused with a [`RejectReason`], counted
+    /// against the tenant.
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        kind: JobKind,
+        send_len: usize,
+    ) -> Result<JobId, RejectReason> {
+        if tenant.idx() >= self.tenants.len() {
+            return Err(RejectReason::UnknownTenant);
+        }
+        if let Err(reason) = self.admit(tenant, kind, send_len) {
+            self.tenants[tenant.idx()].rejected += 1;
+            return Err(reason);
+        }
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.queue.push(PendingJob {
+            id,
+            spec: JobSpec {
+                tenant,
+                kind,
+                send_len,
+            },
+            submitted_ns: self.now_ns,
+            group_demand: self.group_demand(kind, send_len),
+        });
+        self.tenants[tenant.idx()].submitted += 1;
+        Ok(id)
+    }
+
+    fn admit(&self, tenant: TenantId, kind: JobKind, send_len: usize) -> Result<(), RejectReason> {
+        if send_len == 0 {
+            return Err(RejectReason::Empty);
+        }
+        if send_len > self.cfg.admission.max_send_len {
+            return Err(RejectReason::TooLarge);
+        }
+        if let JobKind::Broadcast { root } = kind {
+            if root.idx() >= self.topo.num_hosts() {
+                return Err(RejectReason::InvalidRoot);
+            }
+        }
+        if self.group_demand(kind, send_len) as usize > self.pool.capacity() {
+            return Err(RejectReason::GroupDemand);
+        }
+        if self.queue.len() >= self.cfg.admission.max_queued_total {
+            return Err(RejectReason::QueueFull);
+        }
+        if self.queue.queued_for(tenant) >= self.cfg.admission.max_queued_per_tenant {
+            return Err(RejectReason::TenantQuota);
+        }
+        Ok(())
+    }
+
+    fn group_keys(&self, job: &PendingJob) -> Vec<GroupKey> {
+        let tenant = job.spec.tenant.0;
+        let subs = self.group_demand(JobKind::Allgather, job.spec.send_len);
+        let mut keys: Vec<GroupKey> = (0..subs).map(|index| GroupKey { tenant, index }).collect();
+        if matches!(job.spec.kind, JobKind::AgRs) {
+            keys.push(GroupKey {
+                tenant,
+                index: RS_GROUP_INDEX,
+            });
+        }
+        keys
+    }
+
+    /// Dispatch and run the next fair batch; `None` when the queue is
+    /// empty. Advances the virtual clock past the batch.
+    pub fn run_next_batch(&mut self) -> Option<BatchReport> {
+        let picked = self
+            .queue
+            .pick_batch(self.cfg.max_inflight, self.pool.capacity());
+        if picked.is_empty() {
+            return None;
+        }
+        let batch_idx = self.batches;
+        let batch_start = self.now_ns;
+        let proto = self.cfg.proto;
+        let p = self.topo.num_hosts() as u32;
+
+        // Program the batch's groups (pinned until the batch ends),
+        // charging subnet-manager time on the virtual clock.
+        let mut setup_ns = 0u64;
+        let mut per_job_groups: Vec<(u32, u32, u32)> = Vec::with_capacity(picked.len());
+        for job in &picked {
+            let (mut hits, mut builds, mut rebuilds) = (0u32, 0u32, 0u32);
+            for key in self.group_keys(job) {
+                let (outcome, cost) = self.pool.acquire(key);
+                setup_ns += cost;
+                match outcome {
+                    AcquireOutcome::Hit => hits += 1,
+                    AcquireOutcome::Built => builds += 1,
+                    AcquireOutcome::Rebuilt => rebuilds += 1,
+                }
+            }
+            per_job_groups.push((hits, builds, rebuilds));
+        }
+
+        // Fresh fabric for the batch; its group table is capped at the
+        // pool capacity so overcommit would trip the switch model too.
+        let mut fcfg = self.cfg.fabric.clone();
+        fcfg.seed = self.cfg.fabric.seed.wrapping_add(batch_idx);
+        fcfg.mcast_table_capacity = Some(self.pool.capacity());
+        let n_workers = fcfg.host.rx_workers.max(1);
+        let mut fab: Fabric<ControlMsg> = Fabric::new(self.topo.clone(), fcfg);
+        let members: Vec<Rank> = (0..p).map(Rank).collect();
+
+        // Per-slot plans, fabric groups, and result sinks. Collective ids
+        // 2i+1 (AG/Bcast) and 2i+2 (RS) keep every stream distinct in the
+        // immediate bits.
+        assert!(
+            2 * picked.len() as u32 + 2 <= proto.imm.max_coll_id(),
+            "batch of {} jobs exceeds the immediate-layout collective-id space",
+            picked.len()
+        );
+        struct Slot {
+            plan: Arc<CollectivePlan>,
+            groups: Vec<McastGroupId>,
+            rs_group: Option<McastGroupId>,
+            ag_results: Rc<RefCell<Vec<RankTiming>>>,
+            rs_results: RsTimes,
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(picked.len());
+        for (i, job) in picked.iter().enumerate() {
+            let kind = match job.spec.kind {
+                JobKind::Broadcast { root } => CollectiveKind::Broadcast { root },
+                JobKind::Allgather | JobKind::AgRs => CollectiveKind::Allgather,
+            };
+            let plan = Arc::new(CollectivePlan::new(
+                kind,
+                p,
+                job.spec.send_len,
+                proto.mtu,
+                proto.imm,
+                CollectiveId(2 * i as u32 + 1),
+                proto.subgroups,
+                proto.chains,
+            ));
+            let groups: Vec<McastGroupId> = (0..plan.num_subgroups())
+                .map(|_| fab.create_group(&members))
+                .collect();
+            let rs_group =
+                matches!(job.spec.kind, JobKind::AgRs).then(|| fab.create_group(&members));
+            slots.push(Slot {
+                plan,
+                groups,
+                rs_group,
+                ag_results: Rc::new(RefCell::new(vec![RankTiming::default(); p as usize])),
+                rs_results: Rc::new(RefCell::new(vec![None; p as usize])),
+            });
+        }
+
+        // SPMD app wiring: every rank hosts one endpoint per job, muxed
+        // by QP ownership and token namespace.
+        let headroom = picked.len() as u64 + 1;
+        for &r in &members {
+            let mut apps = Vec::with_capacity(slots.len());
+            let mut qp_owner = Vec::new();
+            for (i, (job, slot)) in picked.iter().zip(&slots).enumerate() {
+                let ctrl = fab.add_qp(r, Transport::Rc, 0);
+                qp_owner.push(i);
+                let mut subgroup_qps = Vec::with_capacity(slot.groups.len());
+                for (j, &g) in slot.groups.iter().enumerate() {
+                    let qp = fab.add_qp(r, Transport::Ud, (i + j) % n_workers);
+                    fab.attach(r, qp, g);
+                    subgroup_qps.push(qp);
+                    qp_owner.push(i);
+                }
+                let cutoff = des::cutoff_ns(fab.topology(), &slot.plan, &proto, headroom);
+                let ag = McastRankApp::new(
+                    Arc::clone(&slot.plan),
+                    r,
+                    QpLayout {
+                        ctrl,
+                        subgroup_qps,
+                        groups: slot.groups.clone(),
+                    },
+                    cutoff,
+                    Rc::clone(&slot.ag_results),
+                );
+                let app = match slot.rs_group {
+                    Some(rsg) => {
+                        let rs_qp = fab.add_qp(r, Transport::Rc, 0);
+                        qp_owner.push(i);
+                        let rs = IncRsApp::new(
+                            p,
+                            r,
+                            job.spec.send_len,
+                            proto.mtu,
+                            proto.imm,
+                            CollectiveId(2 * i as u32 + 2),
+                            rs_qp,
+                            rsg,
+                            Rc::clone(&slot.rs_results),
+                        );
+                        SlotApp::AgRs { ag, rs, rs_qp }
+                    }
+                    None => SlotApp::Coll(ag),
+                };
+                apps.push(app);
+            }
+            fab.set_app(r, Box::new(TenantMuxApp::new(apps, qp_owner)));
+        }
+
+        let stats = fab.run();
+        assert!(
+            stats.all_done(),
+            "batch {batch_idx} did not quiesce: {stats:?}"
+        );
+        self.moved_bytes += fab.traffic().total_data_bytes();
+
+        // Account every job on the virtual timeline: queueing ended at
+        // dispatch; group programming happens before data flies.
+        let dispatch_ns = batch_start + setup_ns;
+        let mut job_ids = Vec::with_capacity(picked.len());
+        for (i, (job, slot)) in picked.iter().zip(&slots).enumerate() {
+            let ag_done = slot
+                .ag_results
+                .borrow()
+                .iter()
+                .map(|t| t.t_done.map_or(0, SimTime::as_ns))
+                .max()
+                .unwrap_or(0);
+            let rs_done = slot
+                .rs_results
+                .borrow()
+                .iter()
+                .flatten()
+                .map(|(_, end)| end.as_ns())
+                .max()
+                .unwrap_or(0);
+            let delivered = delivered_bytes(job.spec.kind, &slot.plan);
+            let (group_hits, group_builds, group_rebuilds) = per_job_groups[i];
+            let rec = JobRecord {
+                id: job.id,
+                tenant: job.spec.tenant,
+                kind: job.spec.kind,
+                send_len: job.spec.send_len,
+                batch: batch_idx,
+                submitted_ns: job.submitted_ns,
+                started_ns: batch_start,
+                finished_ns: dispatch_ns + ag_done.max(rs_done),
+                delivered_bytes: delivered,
+                group_hits,
+                group_builds,
+                group_rebuilds,
+            };
+            let ts = &mut self.tenants[job.spec.tenant.idx()];
+            ts.completed += 1;
+            ts.queue_ns_sum += rec.queue_ns();
+            ts.service_ns_sum += rec.service_ns();
+            ts.delivered_bytes += delivered;
+            ts.last_finish_ns = ts.last_finish_ns.max(rec.finished_ns);
+            self.delivered_bytes += delivered;
+            job_ids.push(job.id);
+            self.records.push(rec);
+        }
+
+        self.pool.unpin_all();
+        self.now_ns = dispatch_ns + stats.end_time.as_ns();
+        self.batches += 1;
+        Some(BatchReport {
+            index: batch_idx,
+            started_ns: batch_start,
+            setup_ns,
+            batch_ns: stats.end_time.as_ns(),
+            jobs: job_ids,
+        })
+    }
+
+    /// Drain the queue batch by batch and return the final report.
+    pub fn run_to_completion(&mut self) -> RuntimeReport {
+        while self.run_next_batch().is_some() {}
+        self.report()
+    }
+
+    /// Snapshot of everything measured so far.
+    pub fn report(&self) -> RuntimeReport {
+        RuntimeReport {
+            jobs: self.records.clone(),
+            tenants: self.tenants.clone(),
+            pool: self.pool.stats(),
+            batches: self.batches,
+            makespan_ns: self.now_ns,
+            delivered_bytes: self.delivered_bytes,
+            moved_bytes: self.moved_bytes,
+        }
+    }
+}
+
+/// Payload bytes delivered to hosts by one job.
+fn delivered_bytes(kind: JobKind, plan: &CollectivePlan) -> u64 {
+    let ag: u64 = (0..plan.num_ranks())
+        .map(|r| plan.expected_psn_bytes(Rank(r)))
+        .sum();
+    // Each rank additionally receives its reduced shard (N bytes).
+    let rs = match kind {
+        JobKind::AgRs => plan.send_len() as u64 * plan.num_ranks() as u64,
+        _ => 0,
+    };
+    ag + rs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcag_verbs::LinkRate;
+
+    fn star(p: usize) -> Topology {
+        Topology::single_switch(p, LinkRate::CX3_56G, 100)
+    }
+
+    fn small_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            pool: PoolConfig::with_capacity(4),
+            max_inflight: 4,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_job_completes() {
+        let mut rt = Runtime::new(star(4), small_cfg());
+        let t = rt.register_tenant("solo");
+        rt.submit(t, JobKind::Allgather, 32 << 10).unwrap();
+        let report = rt.run_to_completion();
+        assert_eq!(report.completed_jobs(), 1);
+        assert_eq!(report.batches, 1);
+        let rec = &report.jobs[0];
+        assert_eq!(rec.queue_ns(), 0);
+        assert!(rec.service_ns() > 0);
+        // One group built, never hit.
+        assert_eq!(report.pool.builds, 1);
+        assert_eq!(report.pool.hits, 0);
+    }
+
+    #[test]
+    fn mixed_kinds_share_one_batch() {
+        let mut rt = Runtime::new(star(4), small_cfg());
+        let a = rt.register_tenant("bcast");
+        let b = rt.register_tenant("ag");
+        let c = rt.register_tenant("fsdp");
+        rt.submit(a, JobKind::Broadcast { root: Rank(1) }, 16 << 10)
+            .unwrap();
+        rt.submit(b, JobKind::Allgather, 16 << 10).unwrap();
+        rt.submit(c, JobKind::AgRs, 16 << 10).unwrap();
+        let report = rt.run_to_completion();
+        assert_eq!(report.completed_jobs(), 3);
+        assert_eq!(report.batches, 1, "4 groups demanded, 4 slots: one batch");
+        for rec in &report.jobs {
+            assert!(rec.finished_ns > rec.started_ns);
+            assert!(rec.delivered_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn second_job_hits_the_pool() {
+        let mut rt = Runtime::new(star(4), small_cfg());
+        let t = rt.register_tenant("repeat");
+        rt.submit(t, JobKind::Allgather, 16 << 10).unwrap();
+        rt.submit(t, JobKind::Allgather, 16 << 10).unwrap();
+        let report = rt.run_to_completion();
+        assert_eq!(report.batches, 2, "one job per tenant per batch");
+        assert_eq!(report.pool.builds, 1);
+        assert_eq!(report.pool.hits, 1, "second batch reuses the group");
+        // The hit batch skips SM programming, so it finishes faster.
+        assert!(report.jobs[1].service_ns() < report.jobs[0].service_ns());
+    }
+
+    #[test]
+    fn clock_threads_batches() {
+        let mut rt = Runtime::new(star(4), small_cfg());
+        let t = rt.register_tenant("a");
+        let u = rt.register_tenant("b");
+        for _ in 0..2 {
+            rt.submit(t, JobKind::Allgather, 16 << 10).unwrap();
+            rt.submit(u, JobKind::Allgather, 16 << 10).unwrap();
+        }
+        let b0 = rt.run_next_batch().unwrap();
+        assert_eq!(b0.started_ns, 0);
+        let b1 = rt.run_next_batch().unwrap();
+        assert_eq!(b1.started_ns, b0.setup_ns + b0.batch_ns);
+        let report = rt.run_to_completion();
+        // Second-batch jobs queued from t=0 until batch 1 dispatched.
+        let late: Vec<_> = report.jobs.iter().filter(|j| j.batch == 1).collect();
+        assert_eq!(late.len(), 2);
+        for j in late {
+            assert_eq!(j.queue_ns(), b1.started_ns);
+        }
+    }
+
+    #[test]
+    fn group_demand_counts_subgroups_and_rs() {
+        let cfg = RuntimeConfig {
+            proto: ProtocolConfig::parallel(4, 1),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::new(star(4), cfg);
+        assert_eq!(rt.group_demand(JobKind::Allgather, 64 << 10), 4);
+        assert_eq!(rt.group_demand(JobKind::AgRs, 64 << 10), 5);
+        // One-chunk message clamps to a single subgroup.
+        assert_eq!(rt.group_demand(JobKind::Allgather, 1024), 1);
+    }
+}

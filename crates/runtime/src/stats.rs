@@ -1,0 +1,195 @@
+//! Per-job records, per-tenant aggregates, and the runtime report.
+
+use crate::job::{JobId, JobKind, TenantId};
+use crate::pool::PoolStats;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle record of one completed job (all times on the virtual
+/// runtime clock, ns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: JobId,
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Collective kind.
+    pub kind: JobKind,
+    /// Bytes per root.
+    pub send_len: usize,
+    /// Batch the job ran in.
+    pub batch: u64,
+    /// Submission time.
+    pub submitted_ns: u64,
+    /// Time the job's batch was dispatched (queueing ends here).
+    pub started_ns: u64,
+    /// Time the job's last rank released its buffer.
+    pub finished_ns: u64,
+    /// Payload bytes delivered to hosts by this job.
+    pub delivered_bytes: u64,
+    /// Multicast groups served from the pool without SM traffic.
+    pub group_hits: u32,
+    /// Groups programmed into free slots for this job.
+    pub group_builds: u32,
+    /// Groups programmed after evicting an LRU entry.
+    pub group_rebuilds: u32,
+}
+
+impl JobRecord {
+    /// Time spent waiting in the queue (ns).
+    pub fn queue_ns(&self) -> u64 {
+        self.started_ns.saturating_sub(self.submitted_ns)
+    }
+
+    /// Time from dispatch (incl. group setup) to completion (ns).
+    pub fn service_ns(&self) -> u64 {
+        self.finished_ns.saturating_sub(self.started_ns)
+    }
+
+    /// End-to-end latency (ns).
+    pub fn latency_ns(&self) -> u64 {
+        self.finished_ns.saturating_sub(self.submitted_ns)
+    }
+}
+
+/// Aggregates for one tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Tenant name (as registered).
+    pub name: String,
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs refused by admission control.
+    pub rejected: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Sum of queueing delays over completed jobs (ns).
+    pub queue_ns_sum: u64,
+    /// Sum of service times over completed jobs (ns).
+    pub service_ns_sum: u64,
+    /// Payload bytes delivered to hosts for this tenant.
+    pub delivered_bytes: u64,
+    /// Completion time of the tenant's last job (ns).
+    pub last_finish_ns: u64,
+}
+
+impl TenantStats {
+    pub(crate) fn new(name: &str) -> TenantStats {
+        TenantStats {
+            name: name.to_string(),
+            submitted: 0,
+            rejected: 0,
+            completed: 0,
+            queue_ns_sum: 0,
+            service_ns_sum: 0,
+            delivered_bytes: 0,
+            last_finish_ns: 0,
+        }
+    }
+
+    /// Mean queueing delay over completed jobs (ns).
+    pub fn mean_queue_ns(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.queue_ns_sum as f64 / self.completed as f64
+    }
+
+    /// Mean service time over completed jobs (ns).
+    pub fn mean_service_ns(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.service_ns_sum as f64 / self.completed as f64
+    }
+}
+
+/// Snapshot of everything the runtime measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeReport {
+    /// One record per completed job, in completion order.
+    pub jobs: Vec<JobRecord>,
+    /// Per-tenant aggregates, indexed by [`TenantId`].
+    pub tenants: Vec<TenantStats>,
+    /// Group-pool counters.
+    pub pool: PoolStats,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Virtual time when the last batch finished (ns).
+    pub makespan_ns: u64,
+    /// Payload bytes delivered to hosts across all jobs.
+    pub delivered_bytes: u64,
+    /// Payload bytes moved across all fabric links (each byte counted
+    /// once per link crossed) — the switch-counter view.
+    pub moved_bytes: u64,
+}
+
+impl RuntimeReport {
+    /// Jobs completed.
+    pub fn completed_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Group-pool hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        self.pool.hit_rate()
+    }
+
+    /// Sustained delivered goodput over the whole run, Tbit/s.
+    pub fn sustained_tbps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        // bytes * 8 / ns == bits/ns == Gbit/s... careful: 1 byte/ns = 8 Gbit/s.
+        self.delivered_bytes as f64 * 8.0 / self.makespan_ns as f64 / 1e3
+    }
+
+    /// Mean end-to-end latency across completed jobs (ns).
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.jobs.iter().map(JobRecord::latency_ns).sum();
+        sum as f64 / self.jobs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_phase_math() {
+        let r = JobRecord {
+            id: JobId(0),
+            tenant: TenantId(0),
+            kind: JobKind::Allgather,
+            send_len: 4096,
+            batch: 0,
+            submitted_ns: 100,
+            started_ns: 400,
+            finished_ns: 1000,
+            delivered_bytes: 0,
+            group_hits: 0,
+            group_builds: 1,
+            group_rebuilds: 0,
+        };
+        assert_eq!(r.queue_ns(), 300);
+        assert_eq!(r.service_ns(), 600);
+        assert_eq!(r.latency_ns(), 900);
+    }
+
+    #[test]
+    fn tbps_units() {
+        let rep = RuntimeReport {
+            jobs: Vec::new(),
+            tenants: Vec::new(),
+            pool: PoolStats::default(),
+            batches: 0,
+            // 125 MB in 1 ms (= 125 GB/s) = 1 Tbit/s.
+            makespan_ns: 1_000_000,
+            delivered_bytes: 125_000_000,
+            moved_bytes: 0,
+        };
+        assert!((rep.sustained_tbps() - 1.0).abs() < 1e-9);
+    }
+}

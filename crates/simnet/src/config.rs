@@ -101,6 +101,11 @@ pub struct FabricConfig {
     pub seed: u64,
     /// Safety valve: abort if the event count explodes.
     pub max_events: u64,
+    /// Switch multicast-group-table capacity: creating more groups than
+    /// this panics, modeling the bounded MGID table a subnet manager
+    /// programs (the scarce resource `mcag-runtime`'s pool arbitrates).
+    /// `None` leaves the table unbounded.
+    pub mcast_table_capacity: Option<usize>,
 }
 
 impl FabricConfig {
@@ -113,6 +118,7 @@ impl FabricConfig {
             adaptive_routing: false,
             seed: 0x5eed,
             max_events: 2_000_000_000,
+            mcast_table_capacity: None,
         }
     }
 

@@ -152,6 +152,9 @@ pub struct Inner<M> {
     /// In-network reduction progress: contributions seen per
     /// `(group, psn, switch)`.
     inc_arrivals: HashMap<(u32, u32, NodeId), u32>,
+    /// Reusable egress-link buffer for switch forwarding (avoids a fresh
+    /// `Vec` per packet hop on the multicast replication hot path).
+    scratch_links: Vec<LinkId>,
 }
 
 /// Statistics of one completed run.
@@ -226,6 +229,7 @@ impl<M: Clone + 'static> Fabric<M> {
                 done: vec![None; n],
                 done_count: 0,
                 inc_arrivals: HashMap::new(),
+                scratch_links: Vec::new(),
             },
             apps: (0..n).map(|_| None).collect(),
         }
@@ -259,11 +263,27 @@ impl<M: Clone + 'static> Fabric<M> {
     }
 
     /// Create a multicast group over `members`; builds the spanning tree.
+    ///
+    /// Panics when [`FabricConfig::mcast_table_capacity`] is set and the
+    /// switch group table is already full — the hard resource bound the
+    /// `mcag-runtime` group pool schedules around.
     pub fn create_group(&mut self, members: &[Rank]) -> McastGroupId {
+        if let Some(cap) = self.inner.cfg.mcast_table_capacity {
+            assert!(
+                self.inner.trees.len() < cap,
+                "switch multicast-group table exhausted ({cap} groups programmed)"
+            );
+        }
         let gid = McastGroupId(self.inner.trees.len() as u32);
         let tree = McastTree::build(&self.inner.topo, gid, members);
         self.inner.trees.push(tree);
         gid
+    }
+
+    /// Multicast groups currently programmed into the fabric — the
+    /// simulated switch group-table occupancy.
+    pub fn num_groups(&self) -> usize {
+        self.inner.trees.len()
     }
 
     /// Attach `rank`'s `qp` to `group` (receives that group's datagrams).
@@ -673,33 +693,39 @@ impl<M: Clone + 'static> Inner<M> {
 
     fn forward_at_switch(&mut self, node: NodeId, in_link: LinkId, pkt: PacketInst<M>) {
         let now = self.q.now();
-        let outs: Vec<LinkId> = match &pkt.route {
+        if let RouteState::IncUp {
+            group,
+            owner,
+            owner_qp,
+        } = &pkt.route
+        {
+            let (group, owner, owner_qp) = (*group, *owner, *owner_qp);
+            return self.reduce_at_switch(node, pkt, group, owner, owner_qp);
+        }
+        // Collect egress links into the reusable scratch buffer: switch
+        // forwarding runs once per packet hop, so a fresh Vec here would be
+        // a per-packet allocation on the replication hot path.
+        let mut outs = std::mem::take(&mut self.scratch_links);
+        outs.clear();
+        match &pkt.route {
             RouteState::Unicast { path, hop } => {
                 debug_assert!(*hop < path.len(), "unicast route exhausted at a switch");
-                vec![path[*hop]]
+                outs.push(path[*hop]);
             }
             RouteState::Mcast { group } => {
-                self.trees[group.0 as usize].out_links(&self.topo, node, Some(in_link))
+                outs.extend(self.trees[group.0 as usize].out_links(&self.topo, node, Some(in_link)))
             }
-            RouteState::IncUp {
-                group,
-                owner,
-                owner_qp,
-            } => {
-                return self.reduce_at_switch(node, pkt.clone(), *group, *owner, *owner_qp);
-            }
-        };
-        let n_out = outs.len();
-        for (i, out) in outs.into_iter().enumerate() {
-            let mut copy = if i + 1 == n_out {
-                // Move the original into the last branch to avoid a clone.
-                None
-            } else {
-                Some(pkt.clone())
-            };
-            let p = copy.take().unwrap_or_else(|| pkt.clone());
-            self.transmit_hop(out, p, now);
+            RouteState::IncUp { .. } => unreachable!("handled above"),
         }
+        // Replicate: clone for all branches but the last, which takes the
+        // original packet.
+        if let Some((&last, rest)) = outs.split_last() {
+            for &out in rest {
+                self.transmit_hop(out, pkt.clone(), now);
+            }
+            self.transmit_hop(last, pkt, now);
+        }
+        self.scratch_links = outs;
     }
 
     /// SHARP-style switch behaviour: absorb contributions for
@@ -1054,6 +1080,32 @@ mod tests {
         let stats = fab.run();
         assert!(!stats.all_done());
         assert!(fab.total_rnr_drops() > 0, "expected RNR drops");
+    }
+
+    #[test]
+    fn group_table_occupancy_tracked() {
+        let topo = Topology::single_switch(4, LinkRate::CX3_56G, 100);
+        let mut cfg = FabricConfig::ideal();
+        cfg.mcast_table_capacity = Some(3);
+        let mut fab: Fabric<Msg> = Fabric::new(topo, cfg);
+        let members: Vec<Rank> = (0..4).map(Rank).collect();
+        assert_eq!(fab.num_groups(), 0);
+        fab.create_group(&members);
+        fab.create_group(&members);
+        assert_eq!(fab.num_groups(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multicast-group table exhausted")]
+    fn group_table_capacity_enforced() {
+        let topo = Topology::single_switch(4, LinkRate::CX3_56G, 100);
+        let mut cfg = FabricConfig::ideal();
+        cfg.mcast_table_capacity = Some(2);
+        let mut fab: Fabric<Msg> = Fabric::new(topo, cfg);
+        let members: Vec<Rank> = (0..4).map(Rank).collect();
+        fab.create_group(&members);
+        fab.create_group(&members);
+        fab.create_group(&members); // third group exceeds the table
     }
 
     #[test]

@@ -148,12 +148,23 @@ impl McastTree {
     /// Directed links on which a switch (or entry host) must replicate a
     /// packet that arrived at `node` via `in_link` (`None` when the packet
     /// is injected locally by the node itself).
-    pub fn out_links(&self, topo: &Topology, node: NodeId, in_link: Option<LinkId>) -> Vec<LinkId> {
-        let Some(links) = self.adj.get(&node) else {
-            return Vec::new();
-        };
+    ///
+    /// Returns a borrowing iterator over the cached adjacency — the fabric
+    /// calls this once per packet hop, so no per-hop allocation happens.
+    pub fn out_links(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        in_link: Option<LinkId>,
+    ) -> impl Iterator<Item = LinkId> + '_ {
         let back = in_link.map(|l| topo.reverse(l));
-        links.iter().copied().filter(|&l| Some(l) != back).collect()
+        self.adj
+            .get(&node)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .filter(move |&l| Some(l) != back)
     }
 
     /// All tree nodes (for invariant checks).
@@ -174,12 +185,19 @@ impl McastTree {
 
     /// Directed links from `node` to its tree children (everything in the
     /// tree adjacency except the link toward the parent).
-    pub fn child_links(&self, node: NodeId) -> Vec<LinkId> {
-        let Some(links) = self.adj.get(&node) else {
-            return Vec::new();
-        };
+    ///
+    /// Like [`McastTree::out_links`], this borrows the cached adjacency
+    /// instead of allocating — it sits on the in-network-reduction hot
+    /// path, called per contribution per switch.
+    pub fn child_links(&self, node: NodeId) -> impl Iterator<Item = LinkId> + '_ {
         let up = self.parent_link.get(&node).copied();
-        links.iter().copied().filter(|&l| Some(l) != up).collect()
+        self.adj
+            .get(&node)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .filter(move |&l| Some(l) != up)
     }
 }
 
@@ -356,10 +374,10 @@ mod tests {
         let topo = Topology::single_switch(5, LinkRate::CX3_56G, 100);
         let tree = McastTree::build(&topo, McastGroupId(0), &all_ranks(5));
         let sw = tree.root(); // single switch is the root
-        assert_eq!(tree.child_links(sw).len(), 5);
+        assert_eq!(tree.child_links(sw).count(), 5);
         for r in 0..5 {
             let h = topo.host_node(Rank(r));
-            assert!(tree.child_links(h).is_empty(), "hosts are leaves");
+            assert_eq!(tree.child_links(h).count(), 0, "hosts are leaves");
             assert!(tree.parent_link(h).is_some());
         }
     }

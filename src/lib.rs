@@ -6,6 +6,8 @@
 //! integration tests, and downstream users need a single dependency.
 //!
 //! * [`core`] — the multicast Broadcast/Allgather protocol and drivers.
+//! * [`runtime`] — the multi-tenant collective runtime: multicast-group
+//!   pooling, admission control, and fair job scheduling.
 //! * [`simnet`] — the discrete-event RDMA fabric (fat-trees, multicast
 //!   trees, in-network reduction, drop injection, port counters).
 //! * [`memfabric`] — the threaded real-byte fabric for end-to-end
@@ -39,5 +41,6 @@ pub use mcag_core as core;
 pub use mcag_dpa as dpa;
 pub use mcag_memfabric as memfabric;
 pub use mcag_models as models;
+pub use mcag_runtime as runtime;
 pub use mcag_simnet as simnet;
 pub use mcag_verbs as verbs;

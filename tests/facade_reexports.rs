@@ -63,3 +63,18 @@ fn memfabric_reachable_and_constructs() {
     assert!(bm.set(7));
     assert!(!bm.set(7));
 }
+
+#[test]
+fn runtime_reachable_and_constructs() {
+    let topo = mcast_allgather::simnet::Topology::single_switch(4, LinkRate::CX3_56G, 100);
+    let mut rt = mcast_allgather::runtime::Runtime::new(
+        topo,
+        mcast_allgather::runtime::RuntimeConfig::default(),
+    );
+    let t = rt.register_tenant("smoke");
+    assert_eq!(t, mcast_allgather::runtime::TenantId(0));
+    let pool = mcast_allgather::runtime::McastGroupPool::new(
+        mcast_allgather::runtime::PoolConfig::with_capacity(2),
+    );
+    assert_eq!(pool.capacity(), 2);
+}
