@@ -1,10 +1,15 @@
 //! Micro-benchmarks of the protocol's fast-path data structures: the
 //! per-CQE work the DPA kernel performs (bitmap update, staging copy,
-//! PSN decode) — the operations whose cost Table I models in cycles.
+//! PSN decode) — the operations whose cost Table I models in cycles —
+//! plus the simulator-throughput suite: event-queue churn (timer wheel
+//! vs reference heap) and end-to-end DES events/sec on the 188-node
+//! testbed and the 512-node fat-tree (`BENCH_simcore.json` scenarios).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcag_bench::simcore::{allgather_run, queue_churn_events_per_sec};
 use mcag_core::{ChunkBitmap, Sequencer, StagingRing};
-use mcag_verbs::{Chunker, CollectiveId, ImmLayout, Mtu};
+use mcag_simnet::{QueueBackend, Topology};
+use mcag_verbs::{Chunker, CollectiveId, ImmLayout, LinkRate, Mtu};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -86,5 +91,56 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
+/// Event-queue engines under a schedule/pop churn with an NIC-like delay
+/// mix (the `event_queue` scenario of `BENCH_simcore.json`).
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    const OPS: u64 = 1 << 16;
+    g.throughput(Throughput::Elements(OPS));
+    for (name, backend) in [
+        ("wheel_churn_64k", QueueBackend::Wheel),
+        ("heap_churn_64k", QueueBackend::Heap),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(queue_churn_events_per_sec(backend, OPS)))
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end simulator throughput: whole Allgather runs per iteration.
+/// The wheel-vs-heap pair on the 188-node testbed is the acceptance
+/// metric; the 512-node fat-tree is the post-optimization scale target.
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.sample_size(2);
+    // Same scenario setup as the BENCH_simcore.json generator.
+    let run =
+        |topo: Topology, backend: QueueBackend, n: usize| allgather_run(topo, backend, n).events;
+    for (name, backend) in [
+        ("allgather_188_wheel", QueueBackend::Wheel),
+        ("allgather_188_heap", QueueBackend::Heap),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run(Topology::ucc_testbed(), backend, 64 << 10)))
+        });
+    }
+    g.bench_function("allgather_512_fat_tree_wheel", |b| {
+        b.iter(|| {
+            black_box(run(
+                Topology::fat_tree_512(LinkRate::NDR_400G),
+                QueueBackend::Wheel,
+                16 << 10,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench,
+    bench_event_queue,
+    bench_simulator_throughput
+);
 criterion_main!(benches);

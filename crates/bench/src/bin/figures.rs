@@ -1,13 +1,16 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [ids…] [--csv DIR]
+//! figures [ids…] [--ablations] [--csv DIR]
 //! ```
 //!
 //! With no ids, every artifact is produced in paper order. `--csv DIR`
-//! additionally writes one CSV per figure.
+//! additionally writes one CSV per figure plus a `timings.csv` with the
+//! per-generator wall clock. Every run ends with a wall-clock summary
+//! table so perf PRs can diff generator runtime, not just simulated-time
+//! results.
 
-use mcag_bench::{generate, ABLATIONS, ALL_FIGS};
+use mcag_bench::{generate, ABLATIONS, ALL_FIGS, PERF};
 use std::io::Write;
 
 fn main() {
@@ -24,9 +27,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [ids…] [--ablations] [--csv DIR]\nids: {}\nablations: {}",
+                    "usage: figures [ids…] [--ablations] [--csv DIR]\nids: {}\nablations: {}\nperf: {}",
                     ALL_FIGS.join(" "),
-                    ABLATIONS.join(" ")
+                    ABLATIONS.join(" "),
+                    PERF.join(" ")
                 );
                 return;
             }
@@ -41,14 +45,31 @@ fn main() {
     }
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
+    let mut timings: Vec<(String, f64)> = Vec::with_capacity(ids.len());
     for id in &ids {
         let t0 = std::time::Instant::now();
         let fig = generate(id);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         writeln!(out, "{}", fig.render()).unwrap();
-        writeln!(out, "  [generated in {:.2?}]\n", t0.elapsed()).unwrap();
+        writeln!(out, "  [generated in {wall_ms:.1} ms]\n").unwrap();
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{id}.csv");
             std::fs::write(&path, fig.to_csv()).expect("write csv");
         }
+        timings.push((id.clone(), wall_ms));
+    }
+    // Wall-clock summary: the generator-runtime trajectory of this tree.
+    writeln!(out, "== generator wall-clock").unwrap();
+    let total: f64 = timings.iter().map(|(_, ms)| ms).sum();
+    for (id, ms) in &timings {
+        writeln!(out, "  {id:<24} {ms:>10.1} ms").unwrap();
+    }
+    writeln!(out, "  {:<24} {total:>10.1} ms", "total").unwrap();
+    if let Some(dir) = &csv_dir {
+        let mut csv = String::from("figure,wall_ms\n");
+        for (id, ms) in &timings {
+            csv.push_str(&format!("{id},{ms:.1}\n"));
+        }
+        std::fs::write(format!("{dir}/timings.csv"), csv).expect("write timings csv");
     }
 }

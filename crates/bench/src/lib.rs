@@ -21,6 +21,10 @@
 //! | fig15  | UC multi-packet chunk sizes                                  |
 //! | fig16  | 64 B chunk rate toward 1.6 Tbit/s                            |
 //! | appb   | measured {AG,RS} concurrent speedup vs `2 − 2/P`             |
+//!
+//! Beyond the paper, `simcore` / `simcore_smoke` measure the simulator
+//! engine itself (timer wheel vs reference heap, 188- and 512-node
+//! scenarios) and write the `BENCH_simcore.json` perf baseline.
 
 #![warn(missing_docs)]
 
@@ -30,6 +34,7 @@ pub mod dpafigs;
 pub mod modelfigs;
 pub mod netfigs;
 pub mod runtimefigs;
+pub mod simcore;
 
 pub use data::FigData;
 
@@ -49,6 +54,12 @@ pub const ABLATIONS: &[&str] = &[
     "ablation_multicomm",
     "runtime_multitenant",
 ];
+
+/// Simulator-performance generators: measure the DES engine itself
+/// (timer wheel vs reference heap) and write `BENCH_simcore.json`.
+/// `simcore` is the recorded baseline; `simcore_smoke` is the bounded CI
+/// variant.
+pub const PERF: &[&str] = &["simcore", "simcore_smoke"];
 
 /// Run one generator by id.
 pub fn generate(id: &str) -> FigData {
@@ -72,6 +83,10 @@ pub fn generate(id: &str) -> FigData {
         "ablation_rq_depth" => ablations::ablation_rq_depth(),
         "ablation_multicomm" => ablations::ablation_multicomm(),
         "runtime_multitenant" => runtimefigs::runtime_multitenant(),
-        other => panic!("unknown figure id {other:?} (known: {ALL_FIGS:?} + {ABLATIONS:?})"),
+        "simcore" => simcore::simcore(),
+        "simcore_smoke" => simcore::simcore_smoke(),
+        other => {
+            panic!("unknown figure id {other:?} (known: {ALL_FIGS:?} + {ABLATIONS:?} + {PERF:?})")
+        }
     }
 }

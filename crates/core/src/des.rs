@@ -9,11 +9,19 @@ use crate::plan::{CollectiveKind, CollectivePlan};
 use crate::protocol::{McastRankApp, QpLayout, RankTiming};
 use crate::ProtocolConfig;
 use mcag_simnet::fabric::RunStats;
-use mcag_simnet::{Fabric, FabricConfig, Topology, TrafficReport};
+use mcag_simnet::{Fabric, FabricConfig, SimTime, Topology, TrafficReport};
 use mcag_verbs::{CollectiveId, Rank, Transport};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
+
+/// Watchdog margin: a healthy collective (including recovery rounds, each
+/// of which re-arms a cutoff-sized timer) finishes within a handful of
+/// cutoffs; a run still pending after this many is livelocked. Used to
+/// bound [`run_collective`] via the peek-based [`Fabric::run_until`]
+/// instead of grinding toward the multi-billion event cap; the runtime
+/// scheduler applies the same margin to whole batches.
+pub const WATCHDOG_CUTOFFS: u64 = 1024;
 
 /// Result of one collective run on the DES fabric.
 #[derive(Debug, Clone)]
@@ -178,7 +186,11 @@ pub fn run_collective(
         );
     }
 
-    let stats = fab.run();
+    // Deadline-bounded run: `run_until` peeks the next event time instead
+    // of popping-and-rescheduling, so the bound never perturbs event
+    // order. `all_done()` stays false if the watchdog trips.
+    let watchdog = SimTime::from_ns(cutoff.saturating_mul(WATCHDOG_CUTOFFS));
+    let stats = fab.run_until(watchdog);
     let traffic = fab.traffic();
     let rnr = fab.total_rnr_drops();
     let drops = fab.total_fabric_drops();

@@ -271,9 +271,11 @@ impl Runtime {
             plan: Arc<CollectivePlan>,
             groups: Vec<McastGroupId>,
             rs_group: Option<McastGroupId>,
+            cutoff: u64,
             ag_results: Rc<RefCell<Vec<RankTiming>>>,
             rs_results: RsTimes,
         }
+        let headroom = picked.len() as u64 + 1;
         let mut slots: Vec<Slot> = Vec::with_capacity(picked.len());
         for (i, job) in picked.iter().enumerate() {
             let kind = match job.spec.kind {
@@ -295,10 +297,12 @@ impl Runtime {
                 .collect();
             let rs_group =
                 matches!(job.spec.kind, JobKind::AgRs).then(|| fab.create_group(&members));
+            let cutoff = des::cutoff_ns(fab.topology(), &plan, &proto, headroom);
             slots.push(Slot {
                 plan,
                 groups,
                 rs_group,
+                cutoff,
                 ag_results: Rc::new(RefCell::new(vec![RankTiming::default(); p as usize])),
                 rs_results: Rc::new(RefCell::new(vec![None; p as usize])),
             });
@@ -306,7 +310,6 @@ impl Runtime {
 
         // SPMD app wiring: every rank hosts one endpoint per job, muxed
         // by QP ownership and token namespace.
-        let headroom = picked.len() as u64 + 1;
         for &r in &members {
             let mut apps = Vec::with_capacity(slots.len());
             let mut qp_owner = Vec::new();
@@ -320,7 +323,6 @@ impl Runtime {
                     subgroup_qps.push(qp);
                     qp_owner.push(i);
                 }
-                let cutoff = des::cutoff_ns(fab.topology(), &slot.plan, &proto, headroom);
                 let ag = McastRankApp::new(
                     Arc::clone(&slot.plan),
                     r,
@@ -329,7 +331,7 @@ impl Runtime {
                         subgroup_qps,
                         groups: slot.groups.clone(),
                     },
-                    cutoff,
+                    slot.cutoff,
                     Rc::clone(&slot.ag_results),
                 );
                 let app = match slot.rs_group {
@@ -356,10 +358,18 @@ impl Runtime {
             fab.set_app(r, Box::new(TenantMuxApp::new(apps, qp_owner)));
         }
 
-        let stats = fab.run();
+        // Batch watchdog: every job's cutoff already upper-bounds its
+        // drain (headroom includes the batch size), so a batch still
+        // running orders of magnitude past the summed cutoffs is
+        // livelocked. The peek-based `run_until` stops cleanly at the
+        // deadline instead of grinding toward the event cap.
+        let total_cutoff: u64 = slots.iter().map(|s| s.cutoff).sum();
+        let watchdog = SimTime::from_ns(total_cutoff.saturating_mul(des::WATCHDOG_CUTOFFS));
+        let stats = fab.run_until(watchdog);
         assert!(
             stats.all_done(),
-            "batch {batch_idx} did not quiesce: {stats:?}"
+            "batch {batch_idx} did not quiesce by {watchdog} (next event at {:?}): {stats:?}",
+            fab.next_event_time()
         );
         self.moved_bytes += fab.traffic().total_data_bytes();
 

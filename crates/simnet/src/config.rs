@@ -1,5 +1,6 @@
 //! Fabric and host datapath configuration.
 
+use crate::event::QueueBackend;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -106,6 +107,10 @@ pub struct FabricConfig {
     /// programs (the scarce resource `mcag-runtime`'s pool arbitrates).
     /// `None` leaves the table unbounded.
     pub mcast_table_capacity: Option<usize>,
+    /// Event-queue engine: the timer wheel (default) or the reference
+    /// binary heap. Both produce identical results; the heap exists as a
+    /// determinism oracle and perf baseline (`BENCH_simcore.json`).
+    pub event_queue: QueueBackend,
 }
 
 impl FabricConfig {
@@ -119,6 +124,7 @@ impl FabricConfig {
             seed: 0x5eed,
             max_events: 2_000_000_000,
             mcast_table_capacity: None,
+            event_queue: QueueBackend::default(),
         }
     }
 

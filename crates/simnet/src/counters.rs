@@ -4,6 +4,16 @@
 use crate::topology::{LinkId, NodeKind, Topology};
 use serde::{Deserialize, Serialize};
 
+/// The one definition of simulator throughput: events per wall-clock
+/// second, 0.0 when no wall time was recorded. Shared by
+/// [`TrafficReport::events_per_sec`] and `RunStats::events_per_sec`.
+pub(crate) fn events_per_sec(events: u64, wall_ns: u64) -> f64 {
+    if wall_ns == 0 {
+        return 0.0;
+    }
+    events as f64 * 1e9 / wall_ns as f64
+}
+
 /// Byte/packet counters for one directed link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LinkCounters {
@@ -30,16 +40,62 @@ impl LinkCounters {
     }
 }
 
-/// A snapshot of every link counter plus aggregation helpers.
+/// A snapshot of every link counter plus aggregation helpers, annotated
+/// with the simulation-engine throughput stats of the run that produced
+/// it (events processed, peak event-queue depth, wall-clock time).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrafficReport {
     per_link: Vec<LinkCounters>,
+    events: u64,
+    peak_queue_depth: usize,
+    wall_ns: u64,
 }
 
 impl TrafficReport {
-    /// Wrap raw per-link counters (indexed by [`LinkId`]).
+    /// Wrap raw per-link counters (indexed by [`LinkId`]). Engine stats
+    /// start at zero; see [`TrafficReport::with_engine_stats`].
     pub fn new(per_link: Vec<LinkCounters>) -> TrafficReport {
-        TrafficReport { per_link }
+        TrafficReport {
+            per_link,
+            events: 0,
+            peak_queue_depth: 0,
+            wall_ns: 0,
+        }
+    }
+
+    /// Attach simulation-engine stats: events processed, the peak pending
+    /// count of the event queue, and wall-clock ns spent simulating.
+    pub fn with_engine_stats(
+        mut self,
+        events: u64,
+        peak_queue_depth: usize,
+        wall_ns: u64,
+    ) -> TrafficReport {
+        self.events = events;
+        self.peak_queue_depth = peak_queue_depth;
+        self.wall_ns = wall_ns;
+        self
+    }
+
+    /// Events the simulation engine processed to produce this report.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Peak pending-event count of the run(s) behind this report.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.peak_queue_depth
+    }
+
+    /// Wall-clock nanoseconds the engine spent in its event loop.
+    pub fn wall_ns(&self) -> u64 {
+        self.wall_ns
+    }
+
+    /// Simulator throughput: events processed per wall-clock second
+    /// (0.0 when no wall time was recorded).
+    pub fn events_per_sec(&self) -> f64 {
+        events_per_sec(self.events, self.wall_ns)
     }
 
     /// Counters of one directed link.
@@ -142,11 +198,16 @@ impl TrafficReport {
     }
 
     /// Element-wise sum of two reports (e.g. accumulating iterations).
+    /// Engine stats accumulate too: events and wall time add, the peak
+    /// queue depth takes the max.
     pub fn absorb(&mut self, other: &TrafficReport) {
         assert_eq!(self.per_link.len(), other.per_link.len());
         for (a, b) in self.per_link.iter_mut().zip(&other.per_link) {
             a.absorb(b);
         }
+        self.events += other.events;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.wall_ns += other.wall_ns;
     }
 }
 

@@ -3,14 +3,48 @@
 //! Events are ordered by `(time, insertion sequence)`, so two events at the
 //! same instant fire in insertion order — the whole simulation is a pure
 //! function of its inputs and seeds.
+//!
+//! ## Engines
+//!
+//! Two interchangeable engines implement that contract:
+//!
+//! * [`QueueBackend::Wheel`] (default) — a hierarchical timer wheel /
+//!   bucketed calendar queue. The *near* level has 4096 one-nanosecond
+//!   slots, so every event within ~4 µs of `now` (NIC serialization,
+//!   switch hops, CQE DMA — the events that dominate a collective run)
+//!   schedules and pops in O(1) with no comparisons. A *far* level of
+//!   4096 coarser slots (~16.8 ms horizon) cascades into the near level
+//!   as simulated time advances, and a sorted overflow map holds
+//!   far-future timers (reliability cutoffs, watchdogs). Because each
+//!   near slot spans exactly one nanosecond, same-slot events share a
+//!   timestamp and FIFO append order *is* `(time, seq)` order — no
+//!   per-pop comparisons anywhere on the hot path.
+//! * [`QueueBackend::Heap`] — the reference `BinaryHeap` engine
+//!   (O(log n) per operation). Kept as the determinism oracle for the
+//!   equivalence property tests and as the perf baseline recorded in
+//!   `BENCH_simcore.json`.
 
 use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Which engine backs an [`EventQueue`]. Both produce bit-for-bit
+/// identical pop order; they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueueBackend {
+    /// Hierarchical timer wheel: O(1) schedule/pop for near-future
+    /// events, amortized-O(1) cascading for far ones. The default.
+    #[default]
+    Wheel,
+    /// Reference binary-heap engine: O(log n) per operation. The
+    /// determinism oracle and perf baseline.
+    Heap,
+}
 
 /// A scheduled entry wrapping the caller's event payload.
 struct Scheduled<E> {
-    at: SimTime,
+    at: u64,
     seq: u64,
     event: E,
 }
@@ -38,22 +72,245 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Slots per wheel level (and slot width of the far level, in ns).
+const SLOT_BITS: u32 = 12;
+const SLOTS: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+const WORDS: usize = SLOTS / 64;
+
+/// Two-level occupancy bitmap over one wheel level: `bits[w]` covers 64
+/// slots, `summary` bit `w` says word `w` is non-empty. Finding the next
+/// occupied slot is two trailing-zero scans — O(1) per pop.
+#[derive(Clone)]
+struct SlotBits {
+    bits: [u64; WORDS],
+    summary: u64,
+}
+
+impl SlotBits {
+    fn new() -> SlotBits {
+        SlotBits {
+            bits: [0; WORDS],
+            summary: 0,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, slot: usize) {
+        self.bits[slot / 64] |= 1 << (slot % 64);
+        self.summary |= 1 << (slot / 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, slot: usize) {
+        let w = slot / 64;
+        self.bits[w] &= !(1 << (slot % 64));
+        if self.bits[w] == 0 {
+            self.summary &= !(1 << w);
+        }
+    }
+
+    /// First set bit at index `>= from`.
+    #[inline]
+    fn next(&self, from: usize) -> Option<usize> {
+        if from >= SLOTS {
+            return None;
+        }
+        let w0 = from / 64;
+        let word = self.bits[w0] & (!0u64 << (from % 64));
+        if word != 0 {
+            return Some(w0 * 64 + word.trailing_zeros() as usize);
+        }
+        let rest = if w0 + 1 >= WORDS {
+            0
+        } else {
+            self.summary & (!0u64 << (w0 + 1))
+        };
+        if rest == 0 {
+            return None;
+        }
+        let w = rest.trailing_zeros() as usize;
+        Some(w * 64 + self.bits[w].trailing_zeros() as usize)
+    }
+}
+
+/// The two-level timer wheel with sorted overflow.
+///
+/// Invariants (between public calls):
+/// * every pending event has `at >= now >= base0`;
+/// * `base0` is slot-aligned and its chunk routes to the near level;
+/// * far slots `< cursor1` are empty; overflow holds only super-chunks
+///   beyond the far window.
+struct Wheel<E> {
+    /// Near level: one slot per nanosecond in `[base0, base0 + SLOTS)`.
+    /// All events in a slot share a timestamp (the slot index), so the
+    /// entries are bare events — FIFO append order *is* `(time, seq)`
+    /// order, and no timestamp or sequence number is stored per entry.
+    near: Vec<VecDeque<E>>,
+    near_bits: SlotBits,
+    base0: u64,
+    /// Far level: one slot per near-window-sized chunk of the super-chunk
+    /// `super_base` (i.e. `at >> (2 * SLOT_BITS) == super_base`); entries
+    /// keep their timestamp for the later cascade.
+    far: Vec<Vec<(u64, E)>>,
+    far_bits: SlotBits,
+    super_base: u64,
+    cursor1: usize,
+    /// Far-future events bucketed by super-chunk (`at >> 24`), sorted.
+    overflow: BTreeMap<u64, Vec<(u64, E)>>,
+}
+
+impl<E> Wheel<E> {
+    fn new() -> Wheel<E> {
+        Wheel {
+            near: (0..SLOTS).map(|_| VecDeque::new()).collect(),
+            near_bits: SlotBits::new(),
+            base0: 0,
+            far: (0..SLOTS).map(|_| Vec::new()).collect(),
+            far_bits: SlotBits::new(),
+            super_base: 0,
+            // base0's own chunk (far slot 0) routes to the near level.
+            cursor1: 1,
+            overflow: BTreeMap::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, at: u64, event: E) {
+        let chunk = at >> SLOT_BITS;
+        if chunk == self.base0 >> SLOT_BITS {
+            let slot = (at & SLOT_MASK) as usize;
+            self.near_bits.set(slot);
+            self.near[slot].push_back(event);
+        } else if at >> (2 * SLOT_BITS) == self.super_base {
+            let slot = (chunk & SLOT_MASK) as usize;
+            self.far_bits.set(slot);
+            self.far[slot].push((at, event));
+        } else {
+            self.overflow
+                .entry(at >> (2 * SLOT_BITS))
+                .or_default()
+                .push((at, event));
+        }
+    }
+
+    /// Pop the earliest event if its time is `<= deadline`. The caller
+    /// guarantees the queue is non-empty. Levels only advance when the
+    /// advance is immediately followed by a successful pop, so an early
+    /// (deadline) return never strands later insertions behind `base0`.
+    fn pop_if_before(&mut self, now: u64, deadline: u64) -> Option<(u64, E)> {
+        loop {
+            // Near level: slots before `now` are already drained.
+            let start = (now.max(self.base0) - self.base0) as usize;
+            if let Some(slot) = self.near_bits.next(start) {
+                let at = self.base0 + slot as u64;
+                if at > deadline {
+                    return None;
+                }
+                let q = &mut self.near[slot];
+                let event = q.pop_front().expect("occupancy bit set on empty slot");
+                if q.is_empty() {
+                    self.near_bits.clear(slot);
+                }
+                return Some((at, event));
+            }
+            // Near window drained: cascade the next far slot into it.
+            if let Some(cslot) = self.far_bits.next(self.cursor1) {
+                let min = self.far[cslot].iter().map(|(at, _)| *at).min();
+                if min.expect("occupancy bit set on empty far slot") > deadline {
+                    return None;
+                }
+                let chunk = (self.super_base << SLOT_BITS) + cslot as u64;
+                self.base0 = chunk << SLOT_BITS;
+                self.cursor1 = cslot + 1;
+                self.far_bits.clear(cslot);
+                // Draining in insertion order keeps per-slot seq order.
+                let mut v = std::mem::take(&mut self.far[cslot]);
+                for (at, event) in v.drain(..) {
+                    let slot = (at & SLOT_MASK) as usize;
+                    self.near_bits.set(slot);
+                    self.near[slot].push_back(event);
+                }
+                self.far[cslot] = v; // keep the capacity for reuse
+                continue;
+            }
+            // Far window drained too: refill from the earliest overflow
+            // super-chunk (its first occupied slot holds the global min).
+            let (&sup, bucket) = self.overflow.first_key_value()?;
+            let min = bucket.iter().map(|(at, _)| *at).min();
+            if min.expect("empty overflow bucket") > deadline {
+                return None;
+            }
+            let evs = self.overflow.remove(&sup).expect("bucket vanished");
+            self.super_base = sup;
+            self.base0 = sup << (2 * SLOT_BITS);
+            self.cursor1 = 0;
+            for (at, event) in evs {
+                let slot = ((at >> SLOT_BITS) & SLOT_MASK) as usize;
+                self.far_bits.set(slot);
+                self.far[slot].push((at, event));
+            }
+        }
+    }
+
+    /// Earliest pending timestamp without mutating any level.
+    fn peek(&self, now: u64) -> Option<u64> {
+        let start = (now.max(self.base0) - self.base0) as usize;
+        if let Some(slot) = self.near_bits.next(start) {
+            return Some(self.base0 + slot as u64);
+        }
+        if let Some(cslot) = self.far_bits.next(self.cursor1) {
+            return self.far[cslot].iter().map(|(at, _)| *at).min();
+        }
+        self.overflow
+            .first_key_value()
+            .and_then(|(_, v)| v.iter().map(|(at, _)| *at).min())
+    }
+}
+
+enum Engine<E> {
+    // Boxed: the wheel's bitmap arrays make it much larger than the
+    // heap's three pointers.
+    Wheel(Box<Wheel<E>>),
+    Heap(BinaryHeap<Scheduled<E>>),
+}
+
 /// Priority queue of simulation events.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    engine: Engine<E>,
     next_seq: u64,
     now: SimTime,
     processed: u64,
+    len: usize,
+    peak: usize,
 }
 
 impl<E> EventQueue<E> {
-    /// New empty queue at time zero.
+    /// New empty queue at time zero on the default (wheel) engine.
     pub fn new() -> EventQueue<E> {
+        EventQueue::with_backend(QueueBackend::default())
+    }
+
+    /// New empty queue at time zero on the given engine.
+    pub fn with_backend(backend: QueueBackend) -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            engine: match backend {
+                QueueBackend::Wheel => Engine::Wheel(Box::new(Wheel::new())),
+                QueueBackend::Heap => Engine::Heap(BinaryHeap::new()),
+            },
             next_seq: 0,
             now: SimTime::ZERO,
             processed: 0,
+            len: 0,
+            peak: 0,
+        }
+    }
+
+    /// Which engine this queue runs on.
+    pub fn backend(&self) -> QueueBackend {
+        match self.engine {
+            Engine::Wheel(_) => QueueBackend::Wheel,
+            Engine::Heap(_) => QueueBackend::Heap,
         }
     }
 
@@ -72,13 +329,19 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Highest pending-event count observed so far.
+    #[inline]
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -91,24 +354,77 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: {at} < {}",
             self.now
         );
-        let seq = self.next_seq;
+        match &mut self.engine {
+            // The wheel needs no sequence number: slot FIFO order is
+            // insertion order.
+            Engine::Wheel(w) => w.push(at.as_ns(), event),
+            Engine::Heap(h) => h.push(Scheduled {
+                at: at.as_ns(),
+                seq: self.next_seq,
+                event,
+            }),
+        }
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.len += 1;
+        if self.len > self.peak {
+            self.peak = self.len;
+        }
     }
 
     /// Schedule `event` after `delay_ns` nanoseconds.
+    ///
+    /// # Panics
+    /// If `now + delay_ns` overflows simulated time (a `u64::MAX`-ish
+    /// delay is a caller bug; it must not silently wrap into the past).
     #[inline]
     pub fn schedule_in(&mut self, delay_ns: u64, event: E) {
-        self.schedule_at(self.now + delay_ns, event);
+        let at = self.now.as_ns().checked_add(delay_ns).unwrap_or_else(|| {
+            panic!(
+                "schedule_in: delay {delay_ns}ns overflows simulated time (now {})",
+                self.now
+            )
+        });
+        self.schedule_at(SimTime::from_ns(at), event);
     }
 
     /// Pop the earliest event, advancing simulated time to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.at >= self.now);
-        self.now = s.at;
+        self.pop_if_before(SimTime(u64::MAX))
+    }
+
+    /// Pop the earliest event only if its timestamp is `<= deadline`;
+    /// otherwise leave the queue untouched and return `None`. This is the
+    /// peek-free way to run a simulation up to a cutoff without the
+    /// pop-then-reschedule dance (which would perturb `(time, seq)` tie
+    /// order).
+    pub fn pop_if_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let popped = match &mut self.engine {
+            Engine::Wheel(w) => w.pop_if_before(self.now.as_ns(), deadline.as_ns()),
+            Engine::Heap(h) => match h.peek() {
+                Some(s) if s.at <= deadline.as_ns() => h.pop().map(|s| (s.at, s.event)),
+                _ => None,
+            },
+        };
+        let (at, event) = popped?;
+        debug_assert!(at >= self.now.as_ns());
+        self.len -= 1;
+        self.now = SimTime(at);
         self.processed += 1;
-        Some((s.at, s.event))
+        Some((self.now, event))
+    }
+
+    /// Timestamp of the earliest pending event, without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        match &self.engine {
+            Engine::Wheel(w) => w.peek(self.now.as_ns()).map(SimTime),
+            Engine::Heap(h) => h.peek().map(|s| SimTime(s.at)),
+        }
     }
 }
 
@@ -121,38 +437,48 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    const BACKENDS: [QueueBackend; 2] = [QueueBackend::Wheel, QueueBackend::Heap];
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule_at(SimTime(30), "c");
-        q.schedule_at(SimTime(10), "a");
-        q.schedule_at(SimTime(20), "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
-        assert_eq!(q.now(), SimTime(30));
-        assert_eq!(q.processed(), 3);
+        for b in BACKENDS {
+            let mut q = EventQueue::with_backend(b);
+            q.schedule_at(SimTime(30), "c");
+            q.schedule_at(SimTime(10), "a");
+            q.schedule_at(SimTime(20), "b");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["a", "b", "c"], "{b:?}");
+            assert_eq!(q.now(), SimTime(30));
+            assert_eq!(q.processed(), 3);
+            assert_eq!(q.peak_len(), 3);
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule_at(SimTime(5), i);
+        for b in BACKENDS {
+            let mut q = EventQueue::with_backend(b);
+            for i in 0..100 {
+                q.schedule_at(SimTime(5), i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{b:?}");
         }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn relative_scheduling_tracks_now() {
-        let mut q = EventQueue::new();
-        q.schedule_in(10, 1u32);
-        let (t, _) = q.pop().unwrap();
-        assert_eq!(t, SimTime(10));
-        q.schedule_in(5, 2u32);
-        let (t, _) = q.pop().unwrap();
-        assert_eq!(t, SimTime(15));
+        for b in BACKENDS {
+            let mut q = EventQueue::with_backend(b);
+            q.schedule_in(10, 1u32);
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, SimTime(10));
+            q.schedule_in(5, 2u32);
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, SimTime(15));
+        }
     }
 
     #[test]
@@ -162,5 +488,132 @@ mod tests {
         q.schedule_at(SimTime(10), ());
         q.pop();
         q.schedule_at(SimTime(5), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows simulated time")]
+    fn overflowing_delay_panics_with_a_clear_message() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), ());
+        q.pop();
+        // Used to wrap and die as "event scheduled in the past".
+        q.schedule_in(u64::MAX, ());
+    }
+
+    #[test]
+    fn far_future_events_cross_wheel_levels() {
+        // One event per wheel regime: near, far, overflow, deep overflow.
+        let times = [3u64, 5_000, 20_000_000, 1 << 40];
+        for b in BACKENDS {
+            let mut q = EventQueue::with_backend(b);
+            for (i, &t) in times.iter().rev().enumerate() {
+                q.schedule_at(SimTime(t), i);
+            }
+            let popped: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.0).collect();
+            assert_eq!(popped, times.to_vec(), "{b:?}");
+        }
+    }
+
+    #[test]
+    fn same_time_ties_survive_cascading() {
+        // Two same-timestamp events landing in the far level must still
+        // pop in insertion order after cascading into the near level.
+        for b in BACKENDS {
+            let mut q = EventQueue::with_backend(b);
+            q.schedule_at(SimTime(1_000_000), "first");
+            q.schedule_at(SimTime(1_000_000), "second");
+            q.schedule_at(SimTime(7), "warm");
+            assert_eq!(q.pop().unwrap().1, "warm");
+            assert_eq!(q.pop().unwrap().1, "first");
+            assert_eq!(q.pop().unwrap().1, "second");
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        for b in BACKENDS {
+            let mut q = EventQueue::with_backend(b);
+            assert_eq!(q.peek_time(), None);
+            for t in [40_000u64, 12, 900, 1 << 30] {
+                q.schedule_at(SimTime(t), t);
+            }
+            while let Some(t) = q.peek_time() {
+                let (at, _) = q.pop().unwrap();
+                assert_eq!(t, at, "{b:?}");
+            }
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn pop_if_before_respects_the_deadline() {
+        for b in BACKENDS {
+            let mut q = EventQueue::with_backend(b);
+            q.schedule_at(SimTime(10), 1u32);
+            q.schedule_at(SimTime(2_000_000), 2u32); // far level
+            assert_eq!(q.pop_if_before(SimTime(5)), None);
+            assert_eq!(q.pop_if_before(SimTime(10)), Some((SimTime(10), 1)));
+            // Deadline inside the far gap: nothing pops, nothing is lost.
+            assert_eq!(q.pop_if_before(SimTime(1_000_000)), None);
+            assert_eq!(q.len(), 1);
+            // Scheduling after a refused pop must still work and order.
+            q.schedule_at(SimTime(500_000), 3u32);
+            assert_eq!(q.pop(), Some((SimTime(500_000), 3)));
+            assert_eq!(q.pop(), Some((SimTime(2_000_000), 2)));
+        }
+    }
+
+    #[test]
+    fn scheduling_into_the_active_slot_keeps_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(5), 0u32);
+        q.schedule_at(SimTime(5), 1u32);
+        assert_eq!(q.pop(), Some((SimTime(5), 0)));
+        // Same-instant insert while the slot is half-drained.
+        q.schedule_at(SimTime(5), 2u32);
+        assert_eq!(q.pop(), Some((SimTime(5), 1)));
+        assert_eq!(q.pop(), Some((SimTime(5), 2)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The wheel and the reference heap pop identically under random
+        /// schedule/pop interleavings spanning every wheel level.
+        #[test]
+        fn wheel_matches_heap_model(
+            ops in prop::collection::vec((0u8..8, 0u64..u64::MAX / 4), 1..250),
+        ) {
+            let mut w = EventQueue::with_backend(QueueBackend::Wheel);
+            let mut h = EventQueue::with_backend(QueueBackend::Heap);
+            let mut id = 0u64;
+            for (op, val) in ops {
+                if op == 0 {
+                    prop_assert_eq!(w.pop(), h.pop());
+                    prop_assert_eq!(w.now(), h.now());
+                } else {
+                    // Spread delays across near slots, far slots, the
+                    // overflow map, and exact ties.
+                    let delay = match op % 4 {
+                        0 => 0,
+                        1 => val % (1 << SLOT_BITS),
+                        2 => val % (1 << (2 * SLOT_BITS + 4)),
+                        _ => val,
+                    };
+                    w.schedule_in(delay, id);
+                    h.schedule_in(delay, id);
+                    id += 1;
+                }
+            }
+            loop {
+                let (a, b) = (w.pop(), h.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(w.processed(), h.processed());
+            prop_assert_eq!(w.peak_len(), h.peak_len());
+        }
     }
 }

@@ -15,6 +15,16 @@
 //!   arrival and recycled when the worker finishes processing — if the
 //!   backlog exceeds the RQ depth, packets are RNR-dropped, exactly the
 //!   failure mode the paper's RNR-synchronization phase exists to avoid.
+//!
+//! ## Hot-path memory model
+//!
+//! In-flight packets live in a slab with an embedded free list; events
+//! carry a 4-byte [`PktRef`] handle instead of a boxed packet. Multicast
+//! replication at a switch is a reference-count bump per extra branch —
+//! no payload/route clone and no allocation per hop — and the event
+//! payload [`Ev`] is a small `Copy`-able struct, so the steady state of a
+//! run performs no per-packet heap allocation at all. Unicast routes are
+//! interned behind `Arc<[LinkId]>` in a per-pair cache.
 
 use crate::app::{Ctx, Payload, RankApp};
 use crate::config::FabricConfig;
@@ -76,32 +86,33 @@ struct PacketInst<M> {
     dst_qp: QpNum,
 }
 
-impl<M: Clone> Clone for PacketInst<M> {
-    fn clone(&self) -> Self {
-        PacketInst {
-            header: self.header,
-            payload: self.payload.clone(),
-            route: self.route.clone(),
-            sem: self.sem,
-            reliable: self.reliable,
-            dst_qp: self.dst_qp,
-        }
-    }
+/// Slab handle of an in-flight packet. Replicating a multicast packet at
+/// a switch copies this handle and bumps a refcount — never the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PktRef(u32);
+
+struct SlabEntry<M> {
+    refs: u32,
+    pkt: PacketInst<M>,
 }
 
-enum Ev<M> {
+/// The event payload. Deliberately small and payload-free: packet state
+/// lives in the slab, CQE contents are derived from it at dispatch time,
+/// so the wheel queue moves ~16-byte values around.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
     TxKick {
         rank: Rank,
     },
     LinkArrive {
         link: LinkId,
-        pkt: Box<PacketInst<M>>,
+        pkt: PktRef,
     },
     CqeDone {
         rank: Rank,
-        cqe: Cqe,
-        payload: Payload<M>,
-        repost_qp: Option<usize>,
+        qp_idx: u32,
+        repost: bool,
+        pkt: PktRef,
     },
     Timer {
         rank: Rank,
@@ -120,11 +131,11 @@ struct QpState {
     rq_depth: usize,
 }
 
-struct NicState<M> {
+struct NicState {
     uplink: LinkId,
     /// One send queue per QP; the NIC arbiter serves them round-robin,
     /// which is how concurrent collectives share injection bandwidth.
-    tx_queues: Vec<VecDeque<PacketInst<M>>>,
+    tx_queues: Vec<VecDeque<PktRef>>,
     tx_rr: usize,
     tx_free_at: SimTime,
     kick_scheduled: bool,
@@ -132,7 +143,9 @@ struct NicState<M> {
     drain_tokens: Vec<Vec<u64>>,
     workers: Vec<SimTime>,
     qps: Vec<QpState>,
-    group_attach: HashMap<McastGroupId, usize>,
+    /// Receiving QP per multicast group, indexed by group id — consulted
+    /// once per multicast delivery, so it is a dense table, not a map.
+    group_attach: Vec<Option<usize>>,
     rnr_drops: u64,
 }
 
@@ -140,8 +153,8 @@ struct NicState<M> {
 pub struct Inner<M> {
     topo: Arc<Topology>,
     cfg: FabricConfig,
-    q: EventQueue<Ev<M>>,
-    nics: Vec<NicState<M>>,
+    q: EventQueue<Ev>,
+    nics: Vec<NicState>,
     trees: Vec<McastTree>,
     counters: Vec<LinkCounters>,
     link_busy: Vec<SimTime>,
@@ -155,6 +168,11 @@ pub struct Inner<M> {
     /// Reusable egress-link buffer for switch forwarding (avoids a fresh
     /// `Vec` per packet hop on the multicast replication hot path).
     scratch_links: Vec<LinkId>,
+    /// In-flight packet slab + free list: `PktRef` handles index here.
+    pkt_slab: Vec<Option<SlabEntry<M>>>,
+    free_pkts: Vec<u32>,
+    /// Cumulative wall-clock ns spent inside the event loop.
+    run_wall_ns: u64,
 }
 
 /// Statistics of one completed run.
@@ -167,6 +185,11 @@ pub struct RunStats {
     /// Per-rank completion times (`None` if a rank never called
     /// [`Ctx::mark_done`]).
     pub per_rank_done: Vec<Option<SimTime>>,
+    /// Highest pending-event count the queue reached.
+    pub peak_queue_depth: usize,
+    /// Wall-clock nanoseconds spent in the event loop (cumulative over
+    /// [`Fabric::run`] / [`Fabric::run_until`] calls on this fabric).
+    pub wall_ns: u64,
 }
 
 impl RunStats {
@@ -179,12 +202,18 @@ impl RunStats {
     pub fn max_done(&self) -> Option<SimTime> {
         self.per_rank_done.iter().flatten().copied().max()
     }
+
+    /// Simulator throughput: events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        crate::counters::events_per_sec(self.events, self.wall_ns)
+    }
 }
 
 /// The discrete-event fabric simulator. See the module docs for the model.
 pub struct Fabric<M> {
     inner: Inner<M>,
     apps: Vec<Option<Box<dyn RankApp<M>>>>,
+    started: bool,
 }
 
 impl<M: Clone + 'static> Fabric<M> {
@@ -207,7 +236,7 @@ impl<M: Clone + 'static> Fabric<M> {
                     drain_tokens: Vec::new(),
                     workers: vec![SimTime::ZERO; cfg.host.rx_workers.max(1)],
                     qps: Vec::new(),
-                    group_attach: HashMap::new(),
+                    group_attach: Vec::new(),
                     rnr_drops: 0,
                 }
             })
@@ -215,11 +244,12 @@ impl<M: Clone + 'static> Fabric<M> {
         let counters = vec![LinkCounters::default(); topo.num_links()];
         let link_busy = vec![SimTime::ZERO; topo.num_links()];
         let rng = StdRng::seed_from_u64(cfg.seed);
+        let q = EventQueue::with_backend(cfg.event_queue);
         Fabric {
             inner: Inner {
                 topo,
                 cfg,
-                q: EventQueue::new(),
+                q,
                 nics,
                 trees: Vec::new(),
                 counters,
@@ -230,8 +260,12 @@ impl<M: Clone + 'static> Fabric<M> {
                 done_count: 0,
                 inc_arrivals: HashMap::new(),
                 scratch_links: Vec::new(),
+                pkt_slab: Vec::new(),
+                free_pkts: Vec::new(),
+                run_wall_ns: 0,
             },
             apps: (0..n).map(|_| None).collect(),
+            started: false,
         }
     }
 
@@ -298,7 +332,11 @@ impl<M: Clone + 'static> Fabric<M> {
             ),
             "only UD/UC QPs can join multicast groups"
         );
-        nic.group_attach.insert(group, qp.0 as usize);
+        let gi = group.0 as usize;
+        if nic.group_attach.len() <= gi {
+            nic.group_attach.resize(gi + 1, None);
+        }
+        nic.group_attach[gi] = Some(qp.0 as usize);
     }
 
     /// Install the protocol endpoint for `rank`.
@@ -309,9 +347,21 @@ impl<M: Clone + 'static> Fabric<M> {
     /// Run to completion: starts every app, then processes events until
     /// all ranks are done (or the queue empties / the event cap trips).
     pub fn run(&mut self) -> RunStats {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    /// Like [`Fabric::run`], but stops (without popping) once the next
+    /// pending event lies beyond `deadline` — a peek-based cutoff, so a
+    /// bounded run never perturbs event order. Callers may inspect
+    /// [`RunStats::all_done`] and continue with a later deadline.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunStats {
+        let wall_start = std::time::Instant::now();
         let n = self.inner.num_ranks();
-        for r in 0..n {
-            self.with_app(Rank(r as u32), |app, ctx| app.on_start(ctx));
+        if !self.started {
+            self.started = true;
+            for r in 0..n {
+                self.with_app(Rank(r as u32), |app, ctx| app.on_start(ctx));
+            }
         }
         while self.inner.done_count < n {
             if self.inner.q.processed() >= self.inner.cfg.max_events {
@@ -320,21 +370,35 @@ impl<M: Clone + 'static> Fabric<M> {
                     self.inner.cfg.max_events
                 );
             }
-            let Some((_, ev)) = self.inner.q.pop() else {
-                break; // quiescent but not all done; caller inspects stats
+            let Some((_, ev)) = self.inner.q.pop_if_before(deadline) else {
+                break; // quiescent or past the deadline; caller inspects stats
             };
             self.dispatch(ev);
         }
+        self.inner.run_wall_ns += wall_start.elapsed().as_nanos() as u64;
         RunStats {
             end_time: self.inner.q.now(),
             events: self.inner.q.processed(),
             per_rank_done: self.inner.done.clone(),
+            peak_queue_depth: self.inner.q.peak_len(),
+            wall_ns: self.inner.run_wall_ns,
         }
     }
 
-    /// Snapshot of all link counters.
+    /// Timestamp of the earliest pending event (`None` when quiescent) —
+    /// the peek-based progress probe for cutoff checks.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.inner.q.peek_time()
+    }
+
+    /// Snapshot of all link counters, annotated with the engine stats of
+    /// the run so far (events processed, peak queue depth, wall clock).
     pub fn traffic(&self) -> TrafficReport {
-        TrafficReport::new(self.inner.counters.clone())
+        TrafficReport::new(self.inner.counters.clone()).with_engine_stats(
+            self.inner.q.processed(),
+            self.inner.q.peak_len(),
+            self.inner.run_wall_ns,
+        )
     }
 
     /// Total RNR drops across all NICs.
@@ -347,18 +411,19 @@ impl<M: Clone + 'static> Fabric<M> {
         self.inner.counters.iter().map(|c| c.drops).sum()
     }
 
-    fn dispatch(&mut self, ev: Ev<M>) {
+    fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::TxKick { rank } => self.inner.handle_tx_kick(rank),
-            Ev::LinkArrive { link, pkt } => self.inner.handle_link_arrive(link, *pkt),
+            Ev::LinkArrive { link, pkt } => self.inner.handle_link_arrive(link, pkt),
             Ev::CqeDone {
                 rank,
-                cqe,
-                payload,
-                repost_qp,
+                qp_idx,
+                repost,
+                pkt,
             } => {
-                if let Some(qi) = repost_qp {
-                    let qp = &mut self.inner.nics[rank.idx()].qps[qi];
+                let (cqe, payload) = self.inner.take_cqe(pkt, qp_idx);
+                if repost {
+                    let qp = &mut self.inner.nics[rank.idx()].qps[qp_idx as usize];
                     qp.rq_avail = (qp.rq_avail + 1).min(qp.rq_depth);
                 }
                 self.with_app(rank, |app, ctx| app.on_cqe(ctx, cqe, payload));
@@ -422,6 +487,100 @@ impl<M: Clone + 'static> Inner<M> {
         }
     }
 
+    // --------------------------- packet slab --------------------------- //
+
+    fn alloc_pkt(&mut self, pkt: PacketInst<M>) -> PktRef {
+        match self.free_pkts.pop() {
+            Some(i) => {
+                debug_assert!(self.pkt_slab[i as usize].is_none());
+                self.pkt_slab[i as usize] = Some(SlabEntry { refs: 1, pkt });
+                PktRef(i)
+            }
+            None => {
+                let i = self.pkt_slab.len() as u32;
+                self.pkt_slab.push(Some(SlabEntry { refs: 1, pkt }));
+                PktRef(i)
+            }
+        }
+    }
+
+    #[inline]
+    fn pkt(&self, r: PktRef) -> &PacketInst<M> {
+        &self.pkt_slab[r.0 as usize]
+            .as_ref()
+            .expect("stale packet handle")
+            .pkt
+    }
+
+    #[inline]
+    fn pkt_mut(&mut self, r: PktRef) -> &mut PacketInst<M> {
+        &mut self.pkt_slab[r.0 as usize]
+            .as_mut()
+            .expect("stale packet handle")
+            .pkt
+    }
+
+    /// Add one reference (a multicast replica about to be transmitted).
+    #[inline]
+    fn retain_pkt(&mut self, r: PktRef) {
+        self.pkt_slab[r.0 as usize]
+            .as_mut()
+            .expect("stale packet handle")
+            .refs += 1;
+    }
+
+    /// Drop one reference; the slab slot is recycled at zero.
+    fn release_pkt(&mut self, r: PktRef) {
+        let e = self.pkt_slab[r.0 as usize]
+            .as_mut()
+            .expect("stale packet handle");
+        if e.refs > 1 {
+            e.refs -= 1;
+        } else {
+            self.pkt_slab[r.0 as usize] = None;
+            self.free_pkts.push(r.0);
+        }
+    }
+
+    /// Build the CQE a delivered packet surfaces and consume the handle —
+    /// one slab access for the whole completion.
+    fn take_cqe(&mut self, r: PktRef, qp_idx: u32) -> (Cqe, Payload<M>) {
+        let i = r.0 as usize;
+        let e = self.pkt_slab[i].as_mut().expect("stale packet handle");
+        let (header, sem) = (e.pkt.header, e.pkt.sem);
+        let payload = if e.refs > 1 {
+            e.refs -= 1;
+            e.pkt.payload.clone()
+        } else {
+            let owned = self.pkt_slab[i].take().expect("stale packet handle");
+            self.free_pkts.push(r.0);
+            owned.pkt.payload
+        };
+        let cqe = match sem {
+            ArrivalSem::ReadResp { tag, req_qp } => Cqe {
+                opcode: CqeOpcode::RdmaReadDone,
+                status: CompletionStatus::Success,
+                qp: req_qp,
+                imm: None,
+                byte_len: header.payload_len,
+                wr_id: tag,
+                src: Some(header.src),
+            },
+            _ => Cqe {
+                opcode: CqeOpcode::Recv,
+                status: CompletionStatus::Success,
+                qp: QpNum(qp_idx),
+                imm: header.imm,
+                byte_len: header.payload_len,
+                wr_id: 0,
+                src: Some(header.src),
+            },
+        };
+        (cqe, payload)
+    }
+
+    // ----------------------------- posting ----------------------------- //
+
     #[allow(clippy::too_many_arguments)] // mirrors the verbs post signature
     pub(crate) fn post_mcast(
         &mut self,
@@ -450,7 +609,8 @@ impl<M: Clone + 'static> Inner<M> {
             reliable: false,
             dst_qp: QpNum(0),
         };
-        self.enqueue_tx(src, qp, pkt);
+        let r = self.alloc_pkt(pkt);
+        self.enqueue_tx(src, qp, r);
     }
 
     /// Post an in-network-reduction contribution for shard chunk `psn`
@@ -498,7 +658,8 @@ impl<M: Clone + 'static> Inner<M> {
             reliable: true, // SHARP runs over reliable transport
             dst_qp: owner_qp,
         };
-        self.enqueue_tx(src, qp, pkt);
+        let r = self.alloc_pkt(pkt);
+        self.enqueue_tx(src, qp, r);
     }
 
     pub(crate) fn post_msg(&mut self, src: Rank, dst: Rank, dst_qp: QpNum, msg: M, len: usize) {
@@ -518,7 +679,8 @@ impl<M: Clone + 'static> Inner<M> {
             reliable: true,
             dst_qp,
         };
-        self.enqueue_tx(src, dst_qp, pkt);
+        let r = self.alloc_pkt(pkt);
+        self.enqueue_tx(src, dst_qp, r);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -549,7 +711,8 @@ impl<M: Clone + 'static> Inner<M> {
             reliable,
             dst_qp,
         };
-        self.enqueue_tx(src, dst_qp, pkt);
+        let r = self.alloc_pkt(pkt);
+        self.enqueue_tx(src, dst_qp, r);
     }
 
     pub(crate) fn post_rdma_read(&mut self, src: Rank, qp: QpNum, dst: Rank, len: usize, tag: u64) {
@@ -573,7 +736,8 @@ impl<M: Clone + 'static> Inner<M> {
             reliable: true,
             dst_qp: qp,
         };
-        self.enqueue_tx(src, qp, pkt);
+        let r = self.alloc_pkt(pkt);
+        self.enqueue_tx(src, qp, r);
     }
 
     fn unicast_path(&mut self, src: Rank, dst: Rank) -> Arc<[LinkId]> {
@@ -597,7 +761,7 @@ impl<M: Clone + 'static> Inner<M> {
         p
     }
 
-    fn enqueue_tx(&mut self, src: Rank, qp: QpNum, pkt: PacketInst<M>) {
+    fn enqueue_tx(&mut self, src: Rank, qp: QpNum, pkt: PktRef) {
         let nic = &mut self.nics[src.idx()];
         nic.tx_queues[qp.0 as usize].push_back(pkt);
         if !nic.kick_scheduled {
@@ -608,7 +772,7 @@ impl<M: Clone + 'static> Inner<M> {
     }
 
     /// Round-robin QP arbitration: pick the next non-empty send queue.
-    fn tx_pick(nic: &mut NicState<M>) -> Option<(usize, PacketInst<M>)> {
+    fn tx_pick(nic: &mut NicState) -> Option<(usize, PktRef)> {
         let n = nic.tx_queues.len();
         for i in 0..n {
             let qi = (nic.tx_rr + i) % n;
@@ -624,32 +788,39 @@ impl<M: Clone + 'static> Inner<M> {
         let now = self.q.now();
         let nic = &mut self.nics[rank.idx()];
         nic.kick_scheduled = false;
-        let Some((qi, mut pkt)) = Self::tx_pick(nic) else {
+        let Some((qi, pr)) = Self::tx_pick(nic) else {
             return;
         };
         let uplink = nic.uplink;
         let link = *self.topo.link(uplink);
-        let ser = link.rate.serialization_ns(pkt.header.wire_bytes());
+        // One slab access: first-hop bookkeeping + the header fields the
+        // wire model and counters need.
+        let (wire, kind, payload_len, reliable) = {
+            let p = self.pkt_mut(pr);
+            if let RouteState::Unicast { path, hop } = &mut p.route {
+                debug_assert_eq!(path[0], uplink, "route does not start at the NIC port");
+                *hop = 1;
+            }
+            let h = &p.header;
+            (h.wire_bytes(), h.kind, h.payload_len, p.reliable)
+        };
+        let ser = link.rate.serialization_ns(wire);
         let start = now.max(self.link_busy[uplink.idx()]);
         let tx_gap = ser.max(self.cfg.host.tx_post_overhead_ns);
         self.link_busy[uplink.idx()] = start + ser;
         let free_at = start + tx_gap;
         let nic = &mut self.nics[rank.idx()];
         nic.tx_free_at = free_at;
-        // First-hop bookkeeping for unicast routes: path[0] *is* the uplink.
-        if let RouteState::Unicast { path, hop } = &mut pkt.route {
-            debug_assert_eq!(path[0], uplink, "route does not start at the NIC port");
-            *hop = 1;
-        }
-        let survived = self.count_and_maybe_drop(uplink, &pkt);
-        if survived {
+        if self.count_and_maybe_drop(uplink, wire, kind, payload_len, reliable) {
             self.q.schedule_at(
                 start + ser + link.prop_delay_ns,
                 Ev::LinkArrive {
                     link: uplink,
-                    pkt: Box::new(pkt),
+                    pkt: pr,
                 },
             );
+        } else {
+            self.release_pkt(pr);
         }
         let nic = &mut self.nics[rank.idx()];
         if nic.tx_queues[qi].is_empty() {
@@ -664,16 +835,24 @@ impl<M: Clone + 'static> Inner<M> {
     }
 
     /// Record traffic on `link`; returns false if the packet copy was
-    /// corrupted there (fabric drop).
-    fn count_and_maybe_drop(&mut self, link: LinkId, pkt: &PacketInst<M>) -> bool {
+    /// corrupted there (fabric drop). The caller owns the handle and must
+    /// release it when the copy is dropped.
+    fn count_and_maybe_drop(
+        &mut self,
+        link: LinkId,
+        wire: usize,
+        kind: PacketKind,
+        payload_len: usize,
+        reliable: bool,
+    ) -> bool {
         let c = &mut self.counters[link.idx()];
         c.packets += 1;
-        c.wire_bytes += pkt.header.wire_bytes() as u64;
-        match pkt.header.kind {
-            PacketKind::Control => c.ctrl_bytes += pkt.header.payload_len as u64,
-            _ => c.data_bytes += pkt.header.payload_len as u64,
+        c.wire_bytes += wire as u64;
+        match kind {
+            PacketKind::Control => c.ctrl_bytes += payload_len as u64,
+            _ => c.data_bytes += payload_len as u64,
         }
-        if !pkt.reliable && self.cfg.drops.fabric_drop_prob > 0.0 {
+        if !reliable && self.cfg.drops.fabric_drop_prob > 0.0 {
             let p = self.cfg.drops.fabric_drop_prob;
             if self.rng.random_bool(p) {
                 self.counters[link.idx()].drops += 1;
@@ -683,7 +862,7 @@ impl<M: Clone + 'static> Inner<M> {
         true
     }
 
-    fn handle_link_arrive(&mut self, in_link: LinkId, pkt: PacketInst<M>) {
+    fn handle_link_arrive(&mut self, in_link: LinkId, pkt: PktRef) {
         let node = self.topo.link(in_link).dst;
         match self.topo.kind(node) {
             NodeKind::Switch { .. } => self.forward_at_switch(node, in_link, pkt),
@@ -691,39 +870,53 @@ impl<M: Clone + 'static> Inner<M> {
         }
     }
 
-    fn forward_at_switch(&mut self, node: NodeId, in_link: LinkId, pkt: PacketInst<M>) {
+    fn forward_at_switch(&mut self, node: NodeId, in_link: LinkId, pr: PktRef) {
         let now = self.q.now();
-        if let RouteState::IncUp {
-            group,
-            owner,
-            owner_qp,
-        } = &pkt.route
-        {
-            let (group, owner, owner_qp) = (*group, *owner, *owner_qp);
-            return self.reduce_at_switch(node, pkt, group, owner, owner_qp);
+        // One slab lookup: copy the small route summary out (every
+        // variant's data is `Copy`), then branch.
+        enum Fwd {
+            Unicast(LinkId),
+            Mcast(McastGroupId),
+            Inc(McastGroupId, Rank, QpNum),
         }
-        // Collect egress links into the reusable scratch buffer: switch
-        // forwarding runs once per packet hop, so a fresh Vec here would be
-        // a per-packet allocation on the replication hot path.
-        let mut outs = std::mem::take(&mut self.scratch_links);
-        outs.clear();
-        match &pkt.route {
+        let fwd = match &self.pkt(pr).route {
             RouteState::Unicast { path, hop } => {
                 debug_assert!(*hop < path.len(), "unicast route exhausted at a switch");
-                outs.push(path[*hop]);
+                Fwd::Unicast(path[*hop])
             }
-            RouteState::Mcast { group } => {
-                outs.extend(self.trees[group.0 as usize].out_links(&self.topo, node, Some(in_link)))
+            RouteState::Mcast { group } => Fwd::Mcast(*group),
+            RouteState::IncUp {
+                group,
+                owner,
+                owner_qp,
+            } => Fwd::Inc(*group, *owner, *owner_qp),
+        };
+        let group = match fwd {
+            Fwd::Inc(group, owner, owner_qp) => {
+                return self.reduce_at_switch(node, pr, group, owner, owner_qp)
             }
-            RouteState::IncUp { .. } => unreachable!("handled above"),
-        }
-        // Replicate: clone for all branches but the last, which takes the
-        // original packet.
-        if let Some((&last, rest)) = outs.split_last() {
-            for &out in rest {
-                self.transmit_hop(out, pkt.clone(), now);
+            // Unicast: exactly one egress — skip the replication machinery.
+            Fwd::Unicast(out) => return self.transmit_hop(out, pr, now),
+            Fwd::Mcast(group) => group,
+        };
+        // Multicast: collect egress links into the reusable scratch
+        // buffer — switch forwarding runs once per packet hop, so a fresh
+        // Vec here would be a per-packet allocation on the replication
+        // hot path.
+        let mut outs = std::mem::take(&mut self.scratch_links);
+        outs.clear();
+        outs.extend(self.trees[group.0 as usize].out_links(&self.topo, node, Some(in_link)));
+        // Replicate: every extra branch is a refcount bump on the slab
+        // entry and a handle copy — the last branch rides the original.
+        match outs.split_last() {
+            Some((&last, rest)) => {
+                for &out in rest {
+                    self.retain_pkt(pr);
+                    self.transmit_hop(out, pr, now);
+                }
+                self.transmit_hop(last, pr, now);
             }
-            self.transmit_hop(last, pkt, now);
+            None => self.release_pkt(pr), // no egress (degenerate tree)
         }
         self.scratch_links = outs;
     }
@@ -735,14 +928,14 @@ impl<M: Clone + 'static> Inner<M> {
     fn reduce_at_switch(
         &mut self,
         node: NodeId,
-        pkt: PacketInst<M>,
+        pr: PktRef,
         group: McastGroupId,
         owner: Rank,
         owner_qp: QpNum,
     ) {
         let now = self.q.now();
-        let psn = match pkt.payload {
-            Payload::Chunk { psn, .. } => psn,
+        let psn = match &self.pkt(pr).payload {
+            Payload::Chunk { psn, .. } => *psn,
             _ => unreachable!("INC packet without chunk payload"),
         };
         let tree = &self.trees[group.0 as usize];
@@ -765,57 +958,60 @@ impl<M: Clone + 'static> Inner<M> {
         let cnt = self.inc_arrivals.entry(key).or_insert(0);
         *cnt += 1;
         if *cnt < expected {
-            return; // absorbed into the partial reduction
+            // Absorbed into the partial reduction.
+            self.release_pkt(pr);
+            return;
         }
         self.inc_arrivals.remove(&key);
         let tree = &self.trees[group.0 as usize];
         match tree.parent_link(node) {
             Some(up) => {
                 // One merged packet continues toward the root.
-                self.transmit_hop(up, pkt, now);
+                self.transmit_hop(up, pr, now);
             }
             None => {
-                // Root: route the reduced shard down to its owner.
+                // Root: retarget the packet in place (single owner — INC
+                // contributions are never replicated) and descend.
                 let path: Arc<[LinkId]> = descend(&self.topo, node, owner, psn as u64).into();
                 let first = path[0];
-                let down = PacketInst {
-                    header: PacketHeader {
-                        dst: Destination::Unicast(owner, owner_qp),
-                        kind: PacketKind::UnicastData,
-                        ..pkt.header
-                    },
-                    payload: pkt.payload,
-                    route: RouteState::Unicast { path, hop: 0 },
-                    sem: ArrivalSem::TwoSided,
-                    reliable: true,
-                    dst_qp: owner_qp,
-                };
-                self.transmit_hop(first, down, now);
+                let pkt = self.pkt_mut(pr);
+                pkt.header.dst = Destination::Unicast(owner, owner_qp);
+                pkt.header.kind = PacketKind::UnicastData;
+                pkt.route = RouteState::Unicast { path, hop: 0 };
+                pkt.sem = ArrivalSem::TwoSided;
+                pkt.reliable = true;
+                pkt.dst_qp = owner_qp;
+                self.transmit_hop(first, pr, now);
             }
         }
     }
 
-    fn transmit_hop(&mut self, out: LinkId, mut pkt: PacketInst<M>, now: SimTime) {
+    fn transmit_hop(&mut self, out: LinkId, pr: PktRef, now: SimTime) {
         let link = *self.topo.link(out);
-        let ser = link.rate.serialization_ns(pkt.header.wire_bytes());
+        // One slab access: hop bookkeeping + header fields.
+        let (wire, kind, payload_len, reliable) = {
+            let p = self.pkt_mut(pr);
+            if let RouteState::Unicast { hop, .. } = &mut p.route {
+                *hop += 1;
+            }
+            let h = &p.header;
+            (h.wire_bytes(), h.kind, h.payload_len, p.reliable)
+        };
+        let ser = link.rate.serialization_ns(wire);
         let start = (now + self.cfg.switch_latency_ns).max(self.link_busy[out.idx()]);
         self.link_busy[out.idx()] = start + ser;
-        if let RouteState::Unicast { hop, .. } = &mut pkt.route {
-            *hop += 1;
-        }
-        if self.count_and_maybe_drop(out, &pkt) {
+        if self.count_and_maybe_drop(out, wire, kind, payload_len, reliable) {
             self.q.schedule_at(
                 start + ser + link.prop_delay_ns,
-                Ev::LinkArrive {
-                    link: out,
-                    pkt: Box::new(pkt),
-                },
+                Ev::LinkArrive { link: out, pkt: pr },
             );
+        } else {
+            self.release_pkt(pr);
         }
     }
 
-    fn deliver_at_host(&mut self, rank: Rank, in_link: LinkId, pkt: PacketInst<M>) {
-        match pkt.sem {
+    fn deliver_at_host(&mut self, rank: Rank, in_link: LinkId, pr: PktRef) {
+        match self.pkt(pr).sem {
             ArrivalSem::ReadReq {
                 resp_len,
                 tag,
@@ -823,7 +1019,8 @@ impl<M: Clone + 'static> Inner<M> {
             } => {
                 // Target NIC hardware answers; no CPU involvement (RC
                 // one-sided semantics).
-                let requester = pkt.header.src;
+                let requester = self.pkt(pr).header.src;
+                self.release_pkt(pr);
                 let path = self.unicast_path(rank, requester);
                 let resp = PacketInst {
                     header: PacketHeader {
@@ -840,83 +1037,77 @@ impl<M: Clone + 'static> Inner<M> {
                     reliable: true,
                     dst_qp: req_qp,
                 };
-                self.enqueue_tx(rank, req_qp, resp);
+                let r = self.alloc_pkt(resp);
+                self.enqueue_tx(rank, req_qp, r);
             }
-            ArrivalSem::ReadResp { tag, req_qp } => {
-                let cqe = Cqe {
-                    opcode: CqeOpcode::RdmaReadDone,
-                    status: CompletionStatus::Success,
-                    qp: req_qp,
-                    imm: None,
-                    byte_len: pkt.header.payload_len,
-                    wr_id: tag,
-                    src: Some(pkt.header.src),
-                };
-                self.schedule_cqe(rank, req_qp.0 as usize, cqe, Payload::Empty, false);
+            ArrivalSem::ReadResp { req_qp, .. } => {
+                self.schedule_cqe(rank, req_qp.0 as usize, pr, false);
             }
-            ArrivalSem::TwoSided => self.deliver_two_sided(rank, in_link, pkt),
+            ArrivalSem::TwoSided => self.deliver_two_sided(rank, in_link, pr),
         }
     }
 
-    fn deliver_two_sided(&mut self, rank: Rank, _in_link: LinkId, pkt: PacketInst<M>) {
-        // Resolve the receiving QP.
-        let qp_idx = match (&pkt.route, &pkt.header.dst) {
-            (RouteState::IncUp { .. }, _) => {
-                unreachable!("reduction contribution delivered to a host")
-            }
-            (RouteState::Mcast { group }, _) => {
-                match self.nics[rank.idx()].group_attach.get(group) {
-                    Some(&qi) => qi,
+    fn deliver_two_sided(&mut self, rank: Rank, _in_link: LinkId, pr: PktRef) {
+        // One slab read for everything delivery needs.
+        let (dest, forced_key, needs_slot) = {
+            let p = self.pkt(pr);
+            let dest = match (&p.route, &p.header.dst) {
+                (RouteState::IncUp { .. }, _) => {
+                    unreachable!("reduction contribution delivered to a host")
+                }
+                (RouteState::Mcast { group }, _) => Err(*group),
+                (_, Destination::Unicast(_, qp)) => Ok(qp.0 as usize),
+                _ => unreachable!("unicast route with multicast destination"),
+            };
+            // Forced-drop key (origin, psn, dst) for multicast data.
+            let forced_key = match (&p.header.kind, &p.payload) {
+                (PacketKind::McastData, Payload::Chunk { origin, psn }) => {
+                    Some((origin.0, *psn, rank.0))
+                }
+                _ => None,
+            };
+            (dest, forced_key, !p.reliable)
+        };
+        let qp_idx = match dest {
+            Ok(qi) => qi,
+            Err(group) => {
+                let attach = &self.nics[rank.idx()].group_attach;
+                match attach.get(group.0 as usize).copied().flatten() {
+                    Some(qi) => qi,
                     // Hosts on the tree but not attached (e.g. sender's own
                     // copy in degenerate trees) silently discard.
-                    None => return,
+                    None => return self.release_pkt(pr),
                 }
             }
-            (_, Destination::Unicast(_, qp)) => qp.0 as usize,
-            _ => unreachable!("unicast route with multicast destination"),
         };
 
-        // Forced drop injection (origin, psn, dst) for multicast data.
-        if pkt.header.kind == PacketKind::McastData {
-            if let Payload::Chunk { origin, psn } = pkt.payload {
-                if self.cfg.drops.forced.contains(&(origin.0, psn, rank.0)) {
+        // Forced drop injection; the emptiness guard keeps the hash
+        // lookup off the common (no-injection) delivery path.
+        if !self.cfg.drops.forced.is_empty() {
+            if let Some(key) = forced_key {
+                if self.cfg.drops.forced.contains(&key) {
                     // Account as a drop on the final delivery link.
                     self.counters[_in_link.idx()].drops += 1;
-                    return;
+                    return self.release_pkt(pr);
                 }
             }
         }
 
-        let opcode = CqeOpcode::Recv;
-        let needs_slot = !pkt.reliable;
         if needs_slot {
             let qp = &mut self.nics[rank.idx()].qps[qp_idx];
             if qp.rq_avail == 0 {
                 self.nics[rank.idx()].rnr_drops += 1;
-                return;
+                return self.release_pkt(pr);
             }
             qp.rq_avail -= 1;
         }
-        let cqe = Cqe {
-            opcode,
-            status: CompletionStatus::Success,
-            qp: QpNum(qp_idx as u32),
-            imm: pkt.header.imm,
-            byte_len: pkt.header.payload_len,
-            wr_id: 0,
-            src: Some(pkt.header.src),
-        };
-        self.schedule_cqe(rank, qp_idx, cqe, pkt.payload, needs_slot);
+        self.schedule_cqe(rank, qp_idx, pr, needs_slot);
     }
 
-    fn schedule_cqe(
-        &mut self,
-        rank: Rank,
-        qp_idx: usize,
-        cqe: Cqe,
-        payload: Payload<M>,
-        repost: bool,
-    ) {
+    /// Queue the packet's completion through its QP's RX worker; the
+    /// handle transfers to the `CqeDone` event (CQE contents are derived
+    /// from the slab entry at dispatch time).
+    fn schedule_cqe(&mut self, rank: Rank, qp_idx: usize, pr: PktRef, repost: bool) {
         let now = self.q.now();
         let nic = &mut self.nics[rank.idx()];
         let worker = nic.qps.get(qp_idx).map(|q| q.worker).unwrap_or(0);
@@ -928,11 +1119,17 @@ impl<M: Clone + 'static> Inner<M> {
             done,
             Ev::CqeDone {
                 rank,
-                cqe,
-                payload,
-                repost_qp: repost.then_some(qp_idx),
+                qp_idx: qp_idx as u32,
+                repost,
+                pkt: pr,
             },
         );
+    }
+
+    /// Live slab entries (for leak checks in tests).
+    #[cfg(test)]
+    fn live_pkts(&self) -> usize {
+        self.pkt_slab.iter().flatten().count()
     }
 }
 
@@ -940,6 +1137,7 @@ impl<M: Clone + 'static> Inner<M> {
 mod tests {
     use super::*;
     use crate::config::DropModel;
+    use crate::event::QueueBackend;
     use mcag_verbs::LinkRate;
 
     type Msg = u64;
@@ -1010,6 +1208,7 @@ mod tests {
         assert!(stats.all_done(), "stats: {stats:?}");
         assert_eq!(fab.total_rnr_drops(), 0);
         assert_eq!(fab.total_fabric_drops(), 0);
+        assert!(stats.peak_queue_depth > 0);
     }
 
     #[test]
@@ -1023,6 +1222,9 @@ mod tests {
         assert_eq!(report.max_link_data_bytes(), payload_total);
         // Exactly: uplink of rank 0 once, downlinks to 7 leaves once.
         assert_eq!(report.total_data_bytes(), payload_total * 8);
+        // Engine stats ride along with the counters.
+        assert!(report.events() > 0);
+        assert!(report.events_per_sec() > 0.0);
     }
 
     #[test]
@@ -1052,6 +1254,8 @@ mod tests {
             "only root done"
         );
         assert!(fab.total_fabric_drops() > 0);
+        // Dropped replicas must not leak slab entries.
+        assert_eq!(fab.inner.live_pkts(), 0);
     }
 
     #[test]
@@ -1116,6 +1320,62 @@ mod tests {
         let s2 = f2.run();
         assert_eq!(s1.per_rank_done, s2.per_rank_done);
         assert_eq!(s1.events, s2.events);
+        assert_eq!(s1.peak_queue_depth, s2.peak_queue_depth);
+    }
+
+    #[test]
+    fn wheel_and_heap_engines_agree() {
+        // Same broadcast on both event-queue engines: identical timing,
+        // event counts, and per-link counters.
+        let mut wheel_cfg = FabricConfig::ucc_default();
+        wheel_cfg.event_queue = QueueBackend::Wheel;
+        let mut heap_cfg = FabricConfig::ucc_default();
+        heap_cfg.event_queue = QueueBackend::Heap;
+        let (mut fw, _) = bcast_fabric(8, 32, wheel_cfg);
+        let (mut fh, _) = bcast_fabric(8, 32, heap_cfg);
+        let sw = fw.run();
+        let sh = fh.run();
+        assert_eq!(sw.per_rank_done, sh.per_rank_done);
+        assert_eq!(sw.events, sh.events);
+        assert_eq!(sw.peak_queue_depth, sh.peak_queue_depth);
+        assert_eq!(fw.traffic().per_link(), fh.traffic().per_link());
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes_without_reordering() {
+        let (mut fab, _) = bcast_fabric(4, 16, FabricConfig::ucc_default());
+        let (mut reference, _) = bcast_fabric(4, 16, FabricConfig::ucc_default());
+        // Drive the first fabric in 2 µs slices until quiescent.
+        let mut deadline = 2_000u64;
+        let stats = loop {
+            let s = fab.run_until(SimTime(deadline));
+            if s.all_done() {
+                break s;
+            }
+            assert!(
+                fab.next_event_time().is_some(),
+                "paused without pending events"
+            );
+            deadline += 2_000;
+        };
+        let whole = reference.run();
+        assert_eq!(stats.per_rank_done, whole.per_rank_done);
+        assert_eq!(stats.events, whole.events);
+    }
+
+    #[test]
+    fn slab_recycles_instead_of_growing() {
+        // Steady-state broadcast: the slab high-water mark must be far
+        // below the total packet count (handles are recycled).
+        let (mut fab, _) = bcast_fabric(8, 256, FabricConfig::ucc_default());
+        let stats = fab.run();
+        assert!(stats.all_done());
+        assert_eq!(fab.inner.live_pkts(), 0, "all packets released");
+        let slab_size = fab.inner.pkt_slab.len();
+        assert!(
+            slab_size < 2048,
+            "slab grew to {slab_size} for 256 chunks — free list not reused?"
+        );
     }
 
     /// Ping-pong over control messages + one RDMA read.

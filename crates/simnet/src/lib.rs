@@ -41,6 +41,7 @@ pub mod topology;
 pub use app::{Ctx, Payload, RankApp};
 pub use config::{DropModel, FabricConfig, HostModel};
 pub use counters::{LinkCounters, TrafficReport};
+pub use event::{EventQueue, QueueBackend};
 pub use fabric::Fabric;
 pub use mcast::McastTree;
 pub use time::SimTime;

@@ -14,25 +14,33 @@
 use crate::routing::mix64;
 use crate::topology::{LinkId, NodeId, NodeKind, Topology};
 use mcag_verbs::{McastGroupId, Rank};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// A multicast group realized as a spanning tree over the fabric.
+///
+/// The adjacency and parent tables are dense `Vec`s indexed by node id —
+/// the fabric consults them once per packet hop on the replication hot
+/// path, where a hash lookup per hop would dominate the switch model.
 #[derive(Debug, Clone)]
 pub struct McastTree {
     group: McastGroupId,
     members: Vec<Rank>,
     member_set: HashSet<Rank>,
-    /// For every node on the tree, the directed links leaving it along
-    /// tree edges (both "up" and "down" directions are present, since a
-    /// packet entering mid-tree must also climb toward the root).
-    adj: HashMap<NodeId, Vec<LinkId>>,
+    /// For every node, the directed links leaving it along tree edges
+    /// (both "up" and "down" directions are present, since a packet
+    /// entering mid-tree must also climb toward the root). Empty for
+    /// nodes off the tree.
+    adj: Vec<Vec<LinkId>>,
+    /// Nodes that lie on the tree, in first-touch order.
+    tree_nodes: Vec<NodeId>,
     /// Number of undirected tree edges.
     edges: usize,
     /// Tree root (the switch the subnet manager rooted the group at, or
     /// a host for switchless topologies).
     root: NodeId,
-    /// Directed link from each non-root tree node toward its parent.
-    parent_link: HashMap<NodeId, LinkId>,
+    /// Directed link from each non-root tree node toward its parent
+    /// (`None` at the root and off the tree).
+    parent_link: Vec<Option<LinkId>>,
 }
 
 impl McastTree {
@@ -48,20 +56,28 @@ impl McastTree {
         let member_set: HashSet<Rank> = members.iter().copied().collect();
         assert_eq!(member_set.len(), members.len(), "duplicate members");
 
-        let mut adj: HashMap<NodeId, Vec<LinkId>> = HashMap::new();
+        let mut adj: Vec<Vec<LinkId>> = vec![Vec::new(); topo.num_nodes()];
+        let mut tree_nodes: Vec<NodeId> = Vec::new();
         let mut undirected: HashSet<(NodeId, NodeId)> = HashSet::new();
-        let mut add_edge =
-            |topo: &Topology, down_link: LinkId, adj: &mut HashMap<NodeId, Vec<LinkId>>| {
-                let l = topo.link(down_link);
-                let key = (l.src.min(l.dst), l.src.max(l.dst));
-                if undirected.insert(key) {
-                    adj.entry(l.src).or_default().push(down_link);
-                    adj.entry(l.dst).or_default().push(topo.reverse(down_link));
-                    true
-                } else {
-                    false
+        let mut add_edge = |topo: &Topology,
+                            down_link: LinkId,
+                            adj: &mut Vec<Vec<LinkId>>,
+                            tree_nodes: &mut Vec<NodeId>| {
+            let l = topo.link(down_link);
+            let key = (l.src.min(l.dst), l.src.max(l.dst));
+            if undirected.insert(key) {
+                for n in [l.src, l.dst] {
+                    if adj[n.idx()].is_empty() {
+                        tree_nodes.push(n);
+                    }
                 }
-            };
+                adj[l.src.idx()].push(down_link);
+                adj[l.dst.idx()].push(topo.reverse(down_link));
+                true
+            } else {
+                false
+            }
+        };
 
         let mut edges = 0usize;
         let top = topo.top_level();
@@ -71,7 +87,7 @@ impl McastTree {
             let h = topo.host_node(members[0]);
             root = h;
             let l = topo.uplinks(h)[0];
-            add_edge(topo, l, &mut adj);
+            add_edge(topo, l, &mut adj, &mut tree_nodes);
             edges += 1;
         } else {
             let tops = topo.switches_at_level(top);
@@ -87,7 +103,7 @@ impl McastTree {
                     let pick =
                         (mix64((group.0 as u64) << 32 | m.0 as u64) % downs.len() as u64) as usize;
                     let l = downs[pick];
-                    if add_edge(topo, l, &mut adj) {
+                    if add_edge(topo, l, &mut adj, &mut tree_nodes) {
                         edges += 1;
                     }
                     at = topo.link(l).dst;
@@ -98,19 +114,17 @@ impl McastTree {
         // Orient the tree: BFS from the root records each node's link
         // toward its parent (used by in-network reduction, which flows
         // *up* the same tree multicast floods down).
-        let mut parent_link = HashMap::new();
+        let mut parent_link: Vec<Option<LinkId>> = vec![None; topo.num_nodes()];
         let mut frontier = vec![(root, None::<LinkId>)];
         while let Some((node, in_link)) = frontier.pop() {
-            if let Some(links) = adj.get(&node) {
-                let back = in_link.map(|l| topo.reverse(l));
-                for &l in links {
-                    if Some(l) == back {
-                        continue;
-                    }
-                    let child = topo.link(l).dst;
-                    parent_link.insert(child, topo.reverse(l));
-                    frontier.push((child, Some(l)));
+            let back = in_link.map(|l| topo.reverse(l));
+            for &l in &adj[node.idx()] {
+                if Some(l) == back {
+                    continue;
                 }
+                let child = topo.link(l).dst;
+                parent_link[child.idx()] = Some(topo.reverse(l));
+                frontier.push((child, Some(l)));
             }
         }
 
@@ -119,6 +133,7 @@ impl McastTree {
             members: members.to_vec(),
             member_set,
             adj,
+            tree_nodes,
             edges,
             root,
             parent_link,
@@ -158,10 +173,7 @@ impl McastTree {
         in_link: Option<LinkId>,
     ) -> impl Iterator<Item = LinkId> + '_ {
         let back = in_link.map(|l| topo.reverse(l));
-        self.adj
-            .get(&node)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.adj[node.idx()]
             .iter()
             .copied()
             .filter(move |&l| Some(l) != back)
@@ -169,7 +181,7 @@ impl McastTree {
 
     /// All tree nodes (for invariant checks).
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj.keys().copied()
+        self.tree_nodes.iter().copied()
     }
 
     /// Tree root node.
@@ -180,7 +192,7 @@ impl McastTree {
     /// Directed link from `node` toward its tree parent (`None` at the
     /// root) — the up-direction used by in-network reduction.
     pub fn parent_link(&self, node: NodeId) -> Option<LinkId> {
-        self.parent_link.get(&node).copied()
+        self.parent_link[node.idx()]
     }
 
     /// Directed links from `node` to its tree children (everything in the
@@ -190,11 +202,8 @@ impl McastTree {
     /// instead of allocating — it sits on the in-network-reduction hot
     /// path, called per contribution per switch.
     pub fn child_links(&self, node: NodeId) -> impl Iterator<Item = LinkId> + '_ {
-        let up = self.parent_link.get(&node).copied();
-        self.adj
-            .get(&node)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let up = self.parent_link[node.idx()];
+        self.adj[node.idx()]
             .iter()
             .copied()
             .filter(move |&l| Some(l) != up)
@@ -205,6 +214,7 @@ impl McastTree {
 mod tests {
     use super::*;
     use mcag_verbs::LinkRate;
+    use std::collections::HashMap;
 
     fn all_ranks(n: u32) -> Vec<Rank> {
         (0..n).map(Rank).collect()
@@ -307,7 +317,7 @@ mod tests {
             .map(|t| {
                 let mut e: Vec<usize> = t
                     .adj
-                    .values()
+                    .iter()
                     .flatten()
                     .map(|l| l.idx().min(topo.reverse(*l).idx()))
                     .collect();

@@ -372,6 +372,14 @@ impl Topology {
     pub fn fig2_cluster(rate: LinkRate) -> Topology {
         Topology::fat_tree_three_level(4, 16, 16, 16, 64, rate, 300)
     }
+
+    /// A 512-node radix-16 three-level fat-tree (8 pods × 8 leaves × 8
+    /// hosts, 8 aggs per pod, 16 cores) — the post-optimization
+    /// simulator-throughput scenario of `BENCH_simcore.json`, 2.7× the
+    /// paper's 188-node testbed.
+    pub fn fat_tree_512(rate: LinkRate) -> Topology {
+        Topology::fat_tree_three_level(8, 8, 8, 8, 16, rate, 300)
+    }
 }
 
 struct Builder {
