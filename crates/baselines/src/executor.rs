@@ -15,8 +15,6 @@ use crate::schedule::Schedule;
 use mcag_simnet::fabric::RunStats;
 use mcag_simnet::{Ctx, Fabric, FabricConfig, Payload, RankApp, SimTime, Topology, TrafficReport};
 use mcag_verbs::{Cqe, CqeOpcode, ImmData, QpNum, Rank, Transport};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 /// Default segmentation for unicast messages (64 KiB keeps event counts
 /// tractable while preserving pipelining; pass a custom value for
@@ -24,9 +22,6 @@ use std::rc::Rc;
 pub const DEFAULT_SEG_BYTES: usize = 64 << 10;
 
 const TX_ALL_DONE: u64 = 10;
-
-/// `results[flow][rank] = (start, end)` completion records.
-pub type FlowTimes = Rc<RefCell<Vec<Vec<Option<(SimTime, SimTime)>>>>>;
 
 /// One flow = one schedule in execution.
 struct FlowState {
@@ -83,20 +78,14 @@ pub struct ScheduleApp {
     qp: QpNum,
     start: SimTime,
     next_psn: u32,
-    results: FlowTimes,
     all_posted: bool,
 }
 
 impl ScheduleApp {
-    /// Build an executor for `rank` running `flows` concurrently.
-    /// `results[flow][rank]` receives `(start, end)` on completion.
-    pub fn new(
-        flows: Vec<Schedule>,
-        p: usize,
-        seg: usize,
-        qp: QpNum,
-        results: FlowTimes,
-    ) -> ScheduleApp {
+    /// Build an executor for `rank` running `flows` concurrently. This
+    /// rank's per-flow `(start, end)` records are read back with
+    /// [`ScheduleApp::flow_times`] after the run.
+    pub fn new(flows: Vec<Schedule>, p: usize, seg: usize, qp: QpNum) -> ScheduleApp {
         assert!(seg > 0);
         ScheduleApp {
             flows: flows.into_iter().map(|s| FlowState::new(s, p)).collect(),
@@ -104,9 +93,17 @@ impl ScheduleApp {
             qp,
             start: SimTime::ZERO,
             next_psn: 0,
-            results,
             all_posted: false,
         }
+    }
+
+    /// This rank's `(start, end)` record for each flow, owned by the app
+    /// and harvested by the driver (`None` for unfinished flows).
+    pub fn flow_times(&self) -> Vec<Option<(SimTime, SimTime)>> {
+        self.flows
+            .iter()
+            .map(|f| f.done_at.map(|e| (self.start, e)))
+            .collect()
     }
 
     fn post_step_sends(&mut self, ctx: &mut Ctx<'_, ()>, flow_idx: usize) {
@@ -138,7 +135,6 @@ impl ScheduleApp {
 
     /// Advance all flows as far as receive thresholds allow.
     fn progress(&mut self, ctx: &mut Ctx<'_, ()>) {
-        let me = ctx.rank();
         loop {
             let mut advanced = false;
             for f in 0..self.flows.len() {
@@ -147,7 +143,6 @@ impl ScheduleApp {
                     self.flows[f].cursor += 1;
                     if self.flows[f].is_done() {
                         self.flows[f].done_at = Some(ctx.now());
-                        self.results.borrow_mut()[f][me.idx()] = Some((self.start, ctx.now()));
                     } else {
                         self.post_step_sends(ctx, f);
                     }
@@ -173,7 +168,6 @@ impl RankApp<()> for ScheduleApp {
                 // Empty schedule (e.g. broadcast root with no parent and
                 // no children at P=... ) — completes immediately.
                 self.flows[f].done_at = Some(ctx.now());
-                self.results.borrow_mut()[f][ctx.rank().idx()] = Some((self.start, ctx.now()));
                 continue;
             }
             self.post_step_sends(ctx, f);
@@ -269,25 +263,23 @@ pub fn run_p2p_concurrent(
         assert_eq!(fl.len(), p, "one schedule per rank");
     }
     let mut fab: Fabric<()> = Fabric::new(topo, cfg);
-    let results = Rc::new(RefCell::new(vec![vec![None; p]; flows.len()]));
+    let n_flows = flows.len();
     for r in 0..p {
         let rank = Rank(r as u32);
         let qp = fab.add_qp(rank, Transport::Rc, 0);
         let rank_flows: Vec<Schedule> = flows.iter().map(|fl| fl[r].clone()).collect();
-        fab.set_app(
-            rank,
-            Box::new(ScheduleApp::new(
-                rank_flows,
-                p,
-                seg,
-                qp,
-                Rc::clone(&results),
-            )),
-        );
+        fab.set_app(rank, Box::new(ScheduleApp::new(rank_flows, p, seg, qp)));
     }
     let stats = fab.run();
     let traffic = fab.traffic();
-    let flow_times = results.borrow().clone();
+    // Harvest each rank's owned per-flow records, then transpose to the
+    // `[flow][rank]` layout the outcome exposes.
+    let per_rank: Vec<Vec<Option<(SimTime, SimTime)>>> = (0..p)
+        .map(|r| fab.take_app_as::<ScheduleApp>(Rank(r as u32)).flow_times())
+        .collect();
+    let flow_times: Vec<Vec<Option<(SimTime, SimTime)>>> = (0..n_flows)
+        .map(|f| per_rank.iter().map(|rank_rows| rank_rows[f]).collect())
+        .collect();
     P2POutcome {
         flow_times,
         stats,

@@ -13,6 +13,7 @@
 
 use crate::data::FigData;
 use mcag_core::{des, run_concurrent_allgathers, CollectiveKind, ProtocolConfig};
+use mcag_exec::par_map;
 use mcag_simnet::{DropModel, FabricConfig, Topology};
 use mcag_verbs::LinkRate;
 
@@ -20,16 +21,17 @@ fn star(p: usize) -> Topology {
     Topology::single_switch(p, LinkRate::CX3_56G, 100)
 }
 
-/// Chain-count sweep: completion time of a 32-rank Allgather.
-pub fn ablation_chains() -> FigData {
+/// Chain-count sweep: completion time of a 32-rank Allgather. `jobs`
+/// bounds the concurrent simulations.
+pub fn ablation_chains(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "ablation_chains",
         "Multicast parallelism: broadcast chains M vs Allgather completion (32 ranks, 256 KiB)",
         &["chains M", "schedule steps R", "completion (us)", "vs M=1"],
     );
     let n = 256usize << 10;
-    let mut base = 0f64;
-    for m in [1u32, 2, 4, 8, 16, 32] {
+    let ms = [1u32, 2, 4, 8, 16, 32];
+    let runs = par_map(jobs, &ms, |&m| {
         let out = des::run_collective(
             star(32),
             FabricConfig::ucc_default(),
@@ -41,13 +43,16 @@ pub fn ablation_chains() -> FigData {
             n,
         );
         assert!(out.stats.all_done());
-        let t = out.completion_ns() as f64 / 1e3;
-        if m == 1 {
-            base = t;
-        }
+        (
+            out.plan.sequencer().num_steps(),
+            out.completion_ns() as f64 / 1e3,
+        )
+    });
+    let base = runs[0].1; // M = 1 reference
+    for (&m, &(steps, t)) in ms.iter().zip(&runs) {
         f.row(vec![
             m.to_string(),
-            out.plan.sequencer().num_steps().to_string(),
+            steps.to_string(),
             format!("{t:.1}"),
             format!("{:.2}x", base / t),
         ]);
@@ -56,16 +61,17 @@ pub fn ablation_chains() -> FigData {
     f
 }
 
-/// Subgroup/worker sweep on a CPU-bound receive path.
-pub fn ablation_subgroups() -> FigData {
+/// Subgroup/worker sweep on a CPU-bound receive path. `jobs` bounds the
+/// concurrent simulations.
+pub fn ablation_subgroups(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "ablation_subgroups",
         "Packet parallelism: subgroups x RX workers vs completion (8 ranks, 1 MiB, slow per-CQE host)",
         &["subgroups", "rx workers", "completion (us)", "speedup vs 1x1"],
     );
     let n = 1usize << 20;
-    let mut base = 0f64;
-    for (subgroups, workers) in [(1u32, 1usize), (2, 2), (4, 4), (8, 4), (4, 1)] {
+    let points = [(1u32, 1usize), (2, 2), (4, 4), (8, 4), (4, 1)];
+    let times = par_map(jobs, &points, |&(subgroups, workers)| {
         let mut cfg = FabricConfig::ucc_default();
         // Make per-CQE processing the bottleneck (Fig. 5's regime): one
         // worker cannot keep up with the 56 Gbit/s arrival rate.
@@ -82,10 +88,10 @@ pub fn ablation_subgroups() -> FigData {
             n,
         );
         assert!(out.stats.all_done());
-        let t = out.completion_ns() as f64 / 1e3;
-        if subgroups == 1 && workers == 1 {
-            base = t;
-        }
+        out.completion_ns() as f64 / 1e3
+    });
+    let base = times[0]; // (1 subgroup, 1 worker) reference
+    for (&(subgroups, workers), &t) in points.iter().zip(&times) {
         f.row(vec![
             subgroups.to_string(),
             workers.to_string(),
@@ -97,8 +103,9 @@ pub fn ablation_subgroups() -> FigData {
     f
 }
 
-/// Cutoff-timer sensitivity under fabric loss.
-pub fn ablation_cutoff() -> FigData {
+/// Cutoff-timer sensitivity under fabric loss. `jobs` bounds the
+/// concurrent simulations.
+pub fn ablation_cutoff(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "ablation_cutoff",
         "Reliability cutoff alpha under 0.5% per-hop loss (8 ranks, 256 KiB)",
@@ -110,7 +117,8 @@ pub fn ablation_cutoff() -> FigData {
         ],
     );
     let n = 256usize << 10;
-    for alpha_us in [1u64, 10, 50, 200, 1000, 5000] {
+    let alphas = [1u64, 10, 50, 200, 1000, 5000];
+    let rows = par_map(jobs, &alphas, |&alpha_us| {
         let mut cfg = FabricConfig::ucc_default();
         cfg.drops = DropModel::uniform(0.005);
         cfg.seed = 42;
@@ -126,26 +134,31 @@ pub fn ablation_cutoff() -> FigData {
         );
         assert!(out.stats.all_done(), "alpha {alpha_us}us");
         let dups: u64 = out.timings.iter().map(|t| t.duplicate_chunks).sum();
-        f.row(vec![
+        vec![
             alpha_us.to_string(),
             format!("{:.1}", out.completion_ns() as f64 / 1e3),
             out.total_fetched().to_string(),
             dups.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        f.row(row);
     }
     f.note("the driver arms the timer at ideal-drain + alpha, so recovery is never premature; every microsecond of alpha lands directly on the tail latency of lossy runs, while the fetched-chunk count stays constant — size alpha for sync jitter only (Section III-C)");
     f
 }
 
-/// Receive-queue depth vs RNR drops.
-pub fn ablation_rq_depth() -> FigData {
+/// Receive-queue depth vs RNR drops. `jobs` bounds the concurrent
+/// simulations.
+pub fn ablation_rq_depth(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "ablation_rq_depth",
         "RQ depth vs receiver-not-ready drops (8 ranks, 512 KiB, slow worker)",
         &["rq depth", "RNR drops", "fetched chunks", "completion (us)"],
     );
     let n = 512usize << 10;
-    for depth in [16usize, 64, 256, 8192] {
+    let depths = [16usize, 64, 256, 8192];
+    let rows = par_map(jobs, &depths, |&depth| {
         let mut cfg = FabricConfig::ucc_default();
         cfg.host.rq_depth = depth;
         cfg.host.rx_proc_ns_per_cqe = 1200; // worker slower than the wire
@@ -157,19 +170,23 @@ pub fn ablation_rq_depth() -> FigData {
             n,
         );
         assert!(out.stats.all_done(), "depth {depth}");
-        f.row(vec![
+        vec![
             depth.to_string(),
             out.rnr_drops.to_string(),
             out.total_fetched().to_string(),
             format!("{:.1}", out.completion_ns() as f64 / 1e3),
-        ]);
+        ]
+    });
+    for row in rows {
+        f.row(row);
     }
     f.note("shallow RQs overflow when the worker lags the wire; every RNR drop is recovered by the fetch ring at slow-path cost — the BlueField's 8192-deep RQ plus pre-posting avoids this (Section III-C)");
     f
 }
 
-/// Multi-communicator scaling (Section V-C).
-pub fn ablation_multicomm() -> FigData {
+/// Multi-communicator scaling (Section V-C). `jobs` bounds the
+/// concurrent simulations.
+pub fn ablation_multicomm(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "ablation_multicomm",
         "Concurrent communicators sharing one fabric (6 ranks, 128 KiB each)",
@@ -180,7 +197,8 @@ pub fn ablation_multicomm() -> FigData {
             "total payload (MiB)",
         ],
     );
-    for k in [1usize, 2, 4, 8] {
+    let ks = [1usize, 2, 4, 8];
+    let rows = par_map(jobs, &ks, |&k| {
         let out = run_concurrent_allgathers(
             star(6),
             FabricConfig::ideal(),
@@ -194,7 +212,7 @@ pub fn ablation_multicomm() -> FigData {
             *times.iter().min().unwrap() as f64,
             *times.iter().max().unwrap() as f64,
         );
-        f.row(vec![
+        vec![
             k.to_string(),
             format!("{:.1}", out.batch_completion_ns() as f64 / 1e3),
             format!("{:.2}", max / min),
@@ -202,7 +220,10 @@ pub fn ablation_multicomm() -> FigData {
                 "{:.1}",
                 out.traffic.total_data_bytes() as f64 / (1 << 20) as f64
             ),
-        ]);
+        ]
+    });
+    for row in rows {
+        f.row(row);
     }
     f.note("round-robin QP arbitration keeps concurrent communicators within a few percent of each other; completion scales ~linearly with k as they share the wire");
     f
@@ -214,7 +235,7 @@ mod tests {
 
     #[test]
     fn chains_ablation_monotone_improvement() {
-        let f = ablation_chains();
+        let f = ablation_chains(2);
         let t_of = |row: &Vec<String>| row[2].parse::<f64>().unwrap();
         let first = t_of(&f.rows[0]);
         let last = t_of(f.rows.last().unwrap());
@@ -223,7 +244,7 @@ mod tests {
 
     #[test]
     fn subgroups_need_workers() {
-        let f = ablation_subgroups();
+        let f = ablation_subgroups(2);
         // (4 subgroups, 4 workers) must beat (4 subgroups, 1 worker).
         let t = |s: &str, w: &str| {
             f.rows.iter().find(|r| r[0] == s && r[1] == w).unwrap()[2]
@@ -235,7 +256,7 @@ mod tests {
 
     #[test]
     fn cutoff_tradeoff_visible() {
-        let f = ablation_cutoff();
+        let f = ablation_cutoff(2);
         let t: Vec<f64> = f.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         let fetched: Vec<u64> = f.rows.iter().map(|r| r[2].parse().unwrap()).collect();
         // Alpha adds directly to lossy-run completion…
@@ -246,7 +267,7 @@ mod tests {
 
     #[test]
     fn rq_depth_controls_rnr() {
-        let f = ablation_rq_depth();
+        let f = ablation_rq_depth(2);
         let rnr: Vec<u64> = f.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         assert!(rnr[0] > 0, "shallow RQ should drop");
         assert_eq!(*rnr.last().unwrap(), 0, "8192-deep RQ should not drop");

@@ -1,33 +1,46 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [ids…] [--ablations] [--csv DIR]
+//! figures [ids…] [--ablations] [--jobs N] [--csv DIR]
 //! ```
 //!
-//! With no ids, every artifact is produced in paper order. `--csv DIR`
-//! additionally writes one CSV per figure plus a `timings.csv` with the
-//! per-generator wall clock. Every run ends with a wall-clock summary
-//! table so perf PRs can diff generator runtime, not just simulated-time
-//! results.
+//! With no ids, every artifact is produced in paper order. `--jobs N`
+//! bounds the concurrent simulations inside each sweep generator
+//! (default: the host's available parallelism); tables are byte-identical
+//! for every `N` — the fork-join executor slots outputs by input index —
+//! so `--jobs` only moves wall clock. `--csv DIR` additionally writes one
+//! CSV per figure plus a `timings.csv` with the per-generator wall clock
+//! and the jobs count it ran with. Every run ends with a wall-clock
+//! summary table so perf PRs can diff generator runtime, not just
+//! simulated-time results.
 
-use mcag_bench::{generate, ABLATIONS, ALL_FIGS, PERF};
+use mcag_bench::{generate_with, ABLATIONS, ALL_FIGS, PERF};
 use std::io::Write;
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut jobs = mcag_exec::default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--csv" => {
                 csv_dir = Some(args.next().expect("--csv needs a directory"));
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .expect("--jobs needs a worker count")
+                    .parse()
+                    .expect("--jobs takes a positive integer");
+                assert!(jobs >= 1, "--jobs takes a positive integer");
+            }
             "--ablations" => {
                 ids.extend(ABLATIONS.iter().map(|s| s.to_string()));
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [ids…] [--ablations] [--csv DIR]\nids: {}\nablations: {}\nperf: {}",
+                    "usage: figures [ids…] [--ablations] [--jobs N] [--csv DIR]\nids: {}\nablations: {}\nperf: {}",
                     ALL_FIGS.join(" "),
                     ABLATIONS.join(" "),
                     PERF.join(" ")
@@ -48,7 +61,7 @@ fn main() {
     let mut timings: Vec<(String, f64)> = Vec::with_capacity(ids.len());
     for id in &ids {
         let t0 = std::time::Instant::now();
-        let fig = generate(id);
+        let fig = generate_with(id, jobs);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         writeln!(out, "{}", fig.render()).unwrap();
         writeln!(out, "  [generated in {wall_ms:.1} ms]\n").unwrap();
@@ -59,16 +72,16 @@ fn main() {
         timings.push((id.clone(), wall_ms));
     }
     // Wall-clock summary: the generator-runtime trajectory of this tree.
-    writeln!(out, "== generator wall-clock").unwrap();
+    writeln!(out, "== generator wall-clock ({jobs} jobs)").unwrap();
     let total: f64 = timings.iter().map(|(_, ms)| ms).sum();
     for (id, ms) in &timings {
         writeln!(out, "  {id:<24} {ms:>10.1} ms").unwrap();
     }
     writeln!(out, "  {:<24} {total:>10.1} ms", "total").unwrap();
     if let Some(dir) = &csv_dir {
-        let mut csv = String::from("figure,wall_ms\n");
+        let mut csv = String::from("figure,wall_ms,jobs\n");
         for (id, ms) in &timings {
-            csv.push_str(&format!("{id},{ms:.1}\n"));
+            csv.push_str(&format!("{id},{ms:.1},{jobs}\n"));
         }
         std::fs::write(format!("{dir}/timings.csv"), csv).expect("write timings csv");
     }

@@ -1,7 +1,12 @@
 //! DPA-testbed figures: Fig. 5 (CPU vs DPA), Table I, Figs. 13–16.
+//!
+//! The thread-count and message-size sweeps are independent cycle-level
+//! simulations and fan out through [`mcag_exec::par_map`]; tables are
+//! byte-identical for every `jobs` value.
 
 use crate::data::FigData;
 use mcag_dpa::{run_datapath, ArrivalModel, DpaSpec, Kernel, KernelKind};
+use mcag_exec::par_map;
 
 const LINK: ArrivalModel = ArrivalModel::LinkRate {
     gbps: 200.0,
@@ -16,8 +21,8 @@ fn payload_ceiling(chunk: usize) -> f64 {
 const CHUNKS: u64 = 40_000;
 
 /// Fig. 5: single-threaded CPU datapaths vs one multithreaded DPA core,
-/// across message sizes.
-pub fn fig5() -> FigData {
+/// across message sizes. `jobs` bounds the concurrent simulations.
+pub fn fig5(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "fig5",
         "Receive throughput vs message size: 1 CPU core vs 1 DPA core (200 Gbit/s link)",
@@ -37,19 +42,23 @@ pub fn fig5() -> FigData {
     // stacks, kernel activation for DPA).
     let cpu_msg_ovh_ns = 2_000.0;
     let dpa_msg_ovh_ns = 1_000.0;
-    for pow in [14usize, 16, 18, 20, 21, 22, 23] {
+    let pows = [14usize, 16, 18, 20, 21, 22, 23];
+    let rows = par_map(jobs, &pows, |&pow| {
         let n = 1usize << pow;
         let chunks = (n / 4096).max(1) as u64;
         let tput = |spec: &DpaSpec, k: &Kernel, threads: u32, ovh: f64| {
             let m = run_datapath(spec, k, threads, 4096, chunks, LINK);
             n as f64 * 8.0 / (m.wall_ns + ovh)
         };
-        f.row(vec![
+        vec![
             crate::data::human_bytes(n as u64),
             format!("{:.1}", tput(&cpu, &ucx, 1, cpu_msg_ovh_ns)),
             format!("{:.1}", tput(&cpu, &rc, 1, cpu_msg_ovh_ns)),
             format!("{:.1}", tput(&dpa, &ud, 16, dpa_msg_ovh_ns)),
-        ]);
+        ]
+    });
+    for row in rows {
+        f.row(row);
     }
     f.note("paper: one CPU core sustains ~1/2-2/3 of 200G even without software reliability; a single 16-thread DPA core reaches line rate");
     f.note(format!(
@@ -94,8 +103,9 @@ pub fn table1() -> FigData {
 }
 
 /// Fig. 13: absolute throughput vs DPA threads (8 MiB buffers, 4 KiB
-/// chunks), with the single CPU core as reference.
-pub fn fig13() -> FigData {
+/// chunks), with the single CPU core as reference. `jobs` bounds the
+/// concurrent simulations.
+pub fn fig13(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "fig13",
         "Throughput scaling with DPA threads (8 MiB receive buffer, 4 KiB chunks)",
@@ -104,14 +114,18 @@ pub fn fig13() -> FigData {
     let spec = DpaSpec::bf3();
     let ud = Kernel::new(KernelKind::DpaUd);
     let uc = Kernel::new(KernelKind::DpaUc);
-    for t in [1u32, 2, 4, 8, 12, 16] {
+    let threads = [1u32, 2, 4, 8, 12, 16];
+    let rows = par_map(jobs, &threads, |&t| {
         let mu = run_datapath(&spec, &ud, t, 4096, CHUNKS, LINK);
         let mc = run_datapath(&spec, &uc, t, 4096, CHUNKS, LINK);
-        f.row(vec![
+        vec![
             t.to_string(),
             format!("{:.1}", mu.gib_per_s),
             format!("{:.1}", mc.gib_per_s),
-        ]);
+        ]
+    });
+    for row in rows {
+        f.row(row);
     }
     let cpu = run_datapath(
         &DpaSpec::host_cpu(),
@@ -130,8 +144,9 @@ pub fn fig13() -> FigData {
     f
 }
 
-/// Fig. 14: the same scaling normalized to the 200 Gbit/s peak.
-pub fn fig14() -> FigData {
+/// Fig. 14: the same scaling normalized to the 200 Gbit/s peak. `jobs`
+/// bounds the concurrent simulations.
+pub fn fig14(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "fig14",
         "DPA throughput as fraction of 200 Gbit/s peak (4 KiB chunks)",
@@ -140,21 +155,26 @@ pub fn fig14() -> FigData {
     let spec = DpaSpec::bf3();
     let ud = Kernel::new(KernelKind::DpaUd);
     let uc = Kernel::new(KernelKind::DpaUc);
-    for t in [1u32, 2, 4, 8, 16] {
+    let threads = [1u32, 2, 4, 8, 16];
+    let rows = par_map(jobs, &threads, |&t| {
         let mu = run_datapath(&spec, &ud, t, 4096, CHUNKS, LINK);
         let mc = run_datapath(&spec, &uc, t, 4096, CHUNKS, LINK);
-        f.row(vec![
+        vec![
             t.to_string(),
             format!("{:.2}", mu.goodput_gbps / 200.0),
             format!("{:.2}", mc.goodput_gbps / 200.0),
-        ]);
+        ]
+    });
+    for row in rows {
+        f.row(row);
     }
     f.note("paper: with 1/256 of DPA capacity the datapaths reach 1/2 (UC) and 1/5 (UD) of peak");
     f
 }
 
-/// Fig. 15: UC multi-packet chunk sizes (8 MiB buffer).
-pub fn fig15() -> FigData {
+/// Fig. 15: UC multi-packet chunk sizes (8 MiB buffer). `jobs` bounds
+/// the concurrent simulations.
+pub fn fig15(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "fig15",
         "UC transport throughput with multi-packet chunks (8 MiB buffer)",
@@ -167,7 +187,8 @@ pub fn fig15() -> FigData {
     );
     let spec = DpaSpec::bf3();
     let uc = Kernel::new(KernelKind::DpaUc);
-    for chunk_kib in [4usize, 8, 16, 32, 64] {
+    let chunk_kibs = [4usize, 8, 16, 32, 64];
+    let rows = par_map(jobs, &chunk_kibs, |&chunk_kib| {
         let chunk = chunk_kib << 10;
         let chunks = ((8usize << 20) / chunk).max(1) as u64 * 16;
         let arrival = ArrivalModel::LinkRate {
@@ -179,14 +200,18 @@ pub fn fig15() -> FigData {
             let m = run_datapath(&spec, &uc, t, chunk, chunks, arrival);
             cells.push(format!("{:.1}", m.goodput_gbps));
         }
-        f.row(cells);
+        cells
+    });
+    for row in rows {
+        f.row(row);
     }
     f.note("paper: with larger chunks the CQE rate falls and fewer threads sustain line rate — multi-packet UC multicast is the low-overhead endpoint");
     f
 }
 
 /// Fig. 16: sustained 64 B chunk processing rate toward Tbit/s links.
-pub fn fig16() -> FigData {
+/// `jobs` bounds the concurrent simulations.
+pub fn fig16(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "fig16",
         "Sustained chunk rate with 64 B chunks (saturated queues)",
@@ -201,16 +226,20 @@ pub fn fig16() -> FigData {
     let ud = Kernel::new(KernelKind::DpaUd);
     let uc = Kernel::new(KernelKind::DpaUc);
     let need = 1.6e12 / 8.0 / 4096.0 / 1e6; // Mchunks/s at 4 KiB MTU
-    for t in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+    let threads = [1u32, 2, 4, 8, 16, 32, 64, 128];
+    let rows = par_map(jobs, &threads, |&t| {
         let chunks = 4_000 * t as u64;
         let mu = run_datapath(&spec, &ud, t, 64, chunks, ArrivalModel::Saturated);
         let mc = run_datapath(&spec, &uc, t, 64, chunks, ArrivalModel::Saturated);
-        f.row(vec![
+        vec![
             t.to_string(),
             format!("{:.1}", mu.chunks_per_sec / 1e6),
             format!("{:.1}", mc.chunks_per_sec / 1e6),
             format!("{:.1}M/s", need),
-        ]);
+        ]
+    });
+    for row in rows {
+        f.row(row);
     }
     f.note("paper: 128 threads (half the DPA) sustain the 1.6 Tbit/s-equivalent arrival rate of ~48.8 M chunks/s");
     f
@@ -232,7 +261,7 @@ mod tests {
 
     #[test]
     fn fig13_final_rows_saturate() {
-        let f = fig13();
+        let f = fig13(2);
         let last_dpa = &f.rows[f.rows.len() - 2];
         let ud16: f64 = last_dpa[1].parse().unwrap();
         assert!(ud16 > 21.0, "UD@16thr = {ud16} GiB/s");
@@ -240,7 +269,7 @@ mod tests {
 
     #[test]
     fn fig16_hits_tbit_rate() {
-        let f = fig16();
+        let f = fig16(2);
         let last = f.rows.last().unwrap();
         let ud: f64 = last[1].parse().unwrap();
         let uc: f64 = last[2].parse().unwrap();

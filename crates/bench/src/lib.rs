@@ -24,7 +24,16 @@
 //!
 //! Beyond the paper, `simcore` / `simcore_smoke` measure the simulator
 //! engine itself (timer wheel vs reference heap, 188- and 512-node
-//! scenarios) and write the `BENCH_simcore.json` perf baseline.
+//! scenarios) and write the `BENCH_simcore.json` perf baseline, and
+//! `parallel_scaling` / `parallel_scaling_smoke` measure the fork-join
+//! sweep executor (jobs = 1/2/4 over the same simulation sweep) and
+//! write `BENCH_parallel.json`.
+//!
+//! Every sweep-shaped generator takes a `jobs` worker count and fans its
+//! independent simulations out through [`mcag_exec::par_map`]; outputs
+//! are slot-ordered, so tables are byte-identical for every `jobs`
+//! value. [`generate`] runs serially; the `figures` binary passes
+//! `--jobs` through [`generate_with`].
 
 #![warn(missing_docs)]
 
@@ -33,6 +42,7 @@ pub mod data;
 pub mod dpafigs;
 pub mod modelfigs;
 pub mod netfigs;
+pub mod parallel;
 pub mod runtimefigs;
 pub mod simcore;
 
@@ -56,35 +66,49 @@ pub const ABLATIONS: &[&str] = &[
 ];
 
 /// Simulator-performance generators: measure the DES engine itself
-/// (timer wheel vs reference heap) and write `BENCH_simcore.json`.
-/// `simcore` is the recorded baseline; `simcore_smoke` is the bounded CI
-/// variant.
-pub const PERF: &[&str] = &["simcore", "simcore_smoke"];
+/// (timer wheel vs reference heap, `BENCH_simcore.json`) and the
+/// fork-join sweep executor (`BENCH_parallel.json`). The unsuffixed ids
+/// are the recorded baselines; `*_smoke` are the bounded CI variants.
+pub const PERF: &[&str] = &[
+    "simcore",
+    "simcore_smoke",
+    "parallel_scaling",
+    "parallel_scaling_smoke",
+];
 
-/// Run one generator by id.
+/// Run one generator by id, serially (`jobs = 1`).
 pub fn generate(id: &str) -> FigData {
+    generate_with(id, 1)
+}
+
+/// Run one generator by id with up to `jobs` simulations in flight.
+/// Sweep outputs are slot-ordered by [`mcag_exec::par_map`], so every
+/// table is byte-identical to the serial run; only wall clock changes.
+pub fn generate_with(id: &str, jobs: usize) -> FigData {
     match id {
         "fig2" => modelfigs::fig2(),
         "fig3" => modelfigs::fig3(),
-        "fig5" => dpafigs::fig5(),
+        "fig5" => dpafigs::fig5(jobs),
         "fig7" => modelfigs::fig7(),
-        "fig10" => netfigs::fig10(),
-        "fig11" => netfigs::fig11(),
-        "fig12" => netfigs::fig12(),
+        "fig10" => netfigs::fig10(jobs),
+        "fig11" => netfigs::fig11(jobs),
+        "fig12" => netfigs::fig12(jobs),
         "table1" => dpafigs::table1(),
-        "fig13" => dpafigs::fig13(),
-        "fig14" => dpafigs::fig14(),
-        "fig15" => dpafigs::fig15(),
-        "fig16" => dpafigs::fig16(),
-        "appb" => netfigs::appb(),
-        "ablation_chains" => ablations::ablation_chains(),
-        "ablation_subgroups" => ablations::ablation_subgroups(),
-        "ablation_cutoff" => ablations::ablation_cutoff(),
-        "ablation_rq_depth" => ablations::ablation_rq_depth(),
-        "ablation_multicomm" => ablations::ablation_multicomm(),
-        "runtime_multitenant" => runtimefigs::runtime_multitenant(),
+        "fig13" => dpafigs::fig13(jobs),
+        "fig14" => dpafigs::fig14(jobs),
+        "fig15" => dpafigs::fig15(jobs),
+        "fig16" => dpafigs::fig16(jobs),
+        "appb" => netfigs::appb(jobs),
+        "ablation_chains" => ablations::ablation_chains(jobs),
+        "ablation_subgroups" => ablations::ablation_subgroups(jobs),
+        "ablation_cutoff" => ablations::ablation_cutoff(jobs),
+        "ablation_rq_depth" => ablations::ablation_rq_depth(jobs),
+        "ablation_multicomm" => ablations::ablation_multicomm(jobs),
+        "runtime_multitenant" => runtimefigs::runtime_multitenant(jobs),
         "simcore" => simcore::simcore(),
         "simcore_smoke" => simcore::simcore_smoke(),
+        "parallel_scaling" => parallel::parallel_scaling(),
+        "parallel_scaling_smoke" => parallel::parallel_scaling_smoke(),
         other => {
             panic!("unknown figure id {other:?} (known: {ALL_FIGS:?} + {ABLATIONS:?} + {PERF:?})")
         }

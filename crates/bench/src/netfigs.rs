@@ -2,6 +2,12 @@
 //! Fig. 10 (critical-path breakdown), Fig. 11 (throughput at scale),
 //! Fig. 12 (switch-counter traffic savings), Appendix B (measured
 //! concurrent {AG, RS} speedup).
+//!
+//! Every sweep here is embarrassingly parallel — one self-contained
+//! simulation per parameter point — and fans out through
+//! [`mcag_exec::par_map`]: pass `jobs > 1` to use several cores, with
+//! tables byte-identical to the serial run (slot-ordered outputs,
+//! per-sim seeds).
 
 use crate::data::{human_bytes, FigData};
 use mcag_baselines::{
@@ -9,6 +15,7 @@ use mcag_baselines::{
     ring_reduce_scatter, run_p2p, run_p2p_concurrent, scatter_allgather_broadcast,
 };
 use mcag_core::{des, run_concurrent_ag_rs, CollectiveKind, ProtocolConfig};
+use mcag_exec::par_map;
 use mcag_simnet::{FabricConfig, Topology};
 use mcag_verbs::{LinkRate, Mtu, Rank};
 
@@ -48,8 +55,8 @@ fn scaled_topo(p: usize) -> Topology {
 }
 
 /// Fig. 10: where the Allgather critical path goes as scale and message
-/// size grow.
-pub fn fig10() -> FigData {
+/// size grow. `jobs` bounds the concurrent simulations.
+pub fn fig10(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "fig10",
         "Allgather critical-path breakdown (mean across ranks)",
@@ -61,33 +68,42 @@ pub fn fig10() -> FigData {
             "final sync",
         ],
     );
+    let mut cells = Vec::new();
     for p in [4usize, 16, 64, 188] {
         for n in [16usize << 10, 256 << 10, 4 << 20] {
-            let out = des::run_collective(
-                scaled_topo(p),
-                FabricConfig::ucc_default(),
-                mcast_proto(n),
-                CollectiveKind::Allgather,
-                n,
-            );
-            assert!(out.stats.all_done(), "p={p} n={n}");
-            let (s, d, fin) = out.mean_breakdown_ns();
-            let tot = (s + d + fin).max(1.0);
-            f.row(vec![
-                p.to_string(),
-                human_bytes(n as u64),
-                format!("{:.1}%", 100.0 * s / tot),
-                format!("{:.1}%", 100.0 * d / tot),
-                format!("{:.1}%", 100.0 * fin / tot),
-            ]);
+            cells.push((p, n));
         }
+    }
+    let rows = par_map(jobs, &cells, |&(p, n)| {
+        let out = des::run_collective(
+            scaled_topo(p),
+            FabricConfig::ucc_default(),
+            mcast_proto(n),
+            CollectiveKind::Allgather,
+            n,
+        );
+        assert!(out.stats.all_done(), "p={p} n={n}");
+        let (s, d, fin) = out.mean_breakdown_ns();
+        let tot = (s + d + fin).max(1.0);
+        vec![
+            p.to_string(),
+            human_bytes(n as u64),
+            format!("{:.1}%", 100.0 * s / tot),
+            format!("{:.1}%", 100.0 * d / tot),
+            format!("{:.1}%", 100.0 * fin / tot),
+        ]
+    });
+    for row in rows {
+        f.row(row);
     }
     f.note("paper: from 16 nodes upward, 99% of progress-path time is the non-blocking multicast datapath for large messages");
     f
 }
 
 /// Fig. 11: per-process receive throughput at the full 188-node scale.
-pub fn fig11() -> FigData {
+/// Each `(message size, algorithm)` cell is an independent simulation,
+/// fanned out over `jobs` workers.
+pub fn fig11(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "fig11",
         "188-node per-rank receive throughput (Gbit/s), mean [CV]",
@@ -104,75 +120,114 @@ pub fn fig11() -> FigData {
     );
     let p = 188u32;
     let root = Rank(0);
-    for n in [16usize << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20] {
+    /// One simulation cell of the Fig. 11 grid.
+    #[derive(Clone, Copy)]
+    enum Algo {
+        McastBcast,
+        ChainPipe,
+        ScatterAg,
+        Knomial,
+        BinaryTree,
+        McastAg,
+        Ring,
+    }
+    const ALGOS: [Algo; 7] = [
+        Algo::McastBcast,
+        Algo::ChainPipe,
+        Algo::ScatterAg,
+        Algo::Knomial,
+        Algo::BinaryTree,
+        Algo::McastAg,
+        Algo::Ring,
+    ];
+    let sizes = [16usize << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
+    let mut cells = Vec::new();
+    for &n in &sizes {
+        for a in ALGOS {
+            cells.push((n, a));
+        }
+    }
+    let rendered = par_map(jobs, &cells, |&(n, algo)| {
         let seg = seg_for(n);
-        // Multicast Broadcast.
-        let bc = des::run_collective(
-            Topology::ucc_testbed(),
-            FabricConfig::ucc_default(),
-            mcast_proto(n),
-            CollectiveKind::Broadcast { root },
-            n,
-        );
-        assert!(bc.stats.all_done());
-        // Multicast Allgather.
-        let ag = des::run_collective(
-            Topology::ucc_testbed(),
-            FabricConfig::ucc_default(),
-            mcast_proto(n),
-            CollectiveKind::Allgather,
-            n,
-        );
-        assert!(ag.stats.all_done());
-        // P2P baselines.
         let cfg = FabricConfig::ucc_default();
-        // Deep chains need fine segments or the pipeline-fill latency
-        // (depth x segment time) dominates — as in real NCCL rings.
-        let chain_seg = (n / 512).clamp(4096, 16 << 10);
-        let chain = run_p2p(
-            Topology::ucc_testbed(),
-            cfg.clone(),
-            pipelined_chain_broadcast(p, root, n, chain_seg),
-            chain_seg,
-        );
-        let sag = run_p2p(
-            Topology::ucc_testbed(),
-            cfg.clone(),
-            scatter_allgather_broadcast(p, root, n),
-            seg,
-        );
-        let knom = run_p2p(
-            Topology::ucc_testbed(),
-            cfg.clone(),
-            knomial_broadcast(p, root, n, 4),
-            seg,
-        );
-        let btree = run_p2p(
-            Topology::ucc_testbed(),
-            cfg.clone(),
-            binary_tree_broadcast(p, root, n),
-            seg,
-        );
-        let ring = run_p2p(Topology::ucc_testbed(), cfg, ring_allgather(p, n), seg);
-
         let bcast_gbps = |o: &mcag_baselines::P2POutcome| {
             let v = o.recv_gbps(0, |r| if r == root { 0 } else { n as u64 });
             v.iter().sum::<f64>() / v.len() as f64
         };
-        let ring_gbps = {
-            let v = ring.recv_gbps(0, |_| (n as u64) * (p as u64 - 1));
-            v.iter().sum::<f64>() / v.len() as f64
-        };
-        f.row(vec![
-            human_bytes(n as u64),
-            format!("{:.1} [{:.2}]", bc.mean_recv_gbps(), bc.recv_gbps_cv()),
-            format!("{:.1}", bcast_gbps(&chain)),
-            format!("{:.1}", bcast_gbps(&sag)),
-            format!("{:.1}", bcast_gbps(&knom)),
-            format!("{:.1}", bcast_gbps(&btree)),
-            format!("{:.1} [{:.2}]", ag.mean_recv_gbps(), ag.recv_gbps_cv()),
-            format!("{:.1}", ring_gbps),
-        ]);
+        match algo {
+            Algo::McastBcast => {
+                let bc = des::run_collective(
+                    Topology::ucc_testbed(),
+                    cfg,
+                    mcast_proto(n),
+                    CollectiveKind::Broadcast { root },
+                    n,
+                );
+                assert!(bc.stats.all_done());
+                format!("{:.1} [{:.2}]", bc.mean_recv_gbps(), bc.recv_gbps_cv())
+            }
+            Algo::McastAg => {
+                let ag = des::run_collective(
+                    Topology::ucc_testbed(),
+                    cfg,
+                    mcast_proto(n),
+                    CollectiveKind::Allgather,
+                    n,
+                );
+                assert!(ag.stats.all_done());
+                format!("{:.1} [{:.2}]", ag.mean_recv_gbps(), ag.recv_gbps_cv())
+            }
+            Algo::ChainPipe => {
+                // Deep chains need fine segments or the pipeline-fill
+                // latency (depth x segment time) dominates — as in real
+                // NCCL rings.
+                let chain_seg = (n / 512).clamp(4096, 16 << 10);
+                let chain = run_p2p(
+                    Topology::ucc_testbed(),
+                    cfg,
+                    pipelined_chain_broadcast(p, root, n, chain_seg),
+                    chain_seg,
+                );
+                format!("{:.1}", bcast_gbps(&chain))
+            }
+            Algo::ScatterAg => {
+                let sag = run_p2p(
+                    Topology::ucc_testbed(),
+                    cfg,
+                    scatter_allgather_broadcast(p, root, n),
+                    seg,
+                );
+                format!("{:.1}", bcast_gbps(&sag))
+            }
+            Algo::Knomial => {
+                let knom = run_p2p(
+                    Topology::ucc_testbed(),
+                    cfg,
+                    knomial_broadcast(p, root, n, 4),
+                    seg,
+                );
+                format!("{:.1}", bcast_gbps(&knom))
+            }
+            Algo::BinaryTree => {
+                let btree = run_p2p(
+                    Topology::ucc_testbed(),
+                    cfg,
+                    binary_tree_broadcast(p, root, n),
+                    seg,
+                );
+                format!("{:.1}", bcast_gbps(&btree))
+            }
+            Algo::Ring => {
+                let ring = run_p2p(Topology::ucc_testbed(), cfg, ring_allgather(p, n), seg);
+                let v = ring.recv_gbps(0, |_| (n as u64) * (p as u64 - 1));
+                format!("{:.1}", v.iter().sum::<f64>() / v.len() as f64)
+            }
+        }
+    });
+    for (i, &n) in sizes.iter().enumerate() {
+        let mut row = vec![human_bytes(n as u64)];
+        row.extend_from_slice(&rendered[i * ALGOS.len()..(i + 1) * ALGOS.len()]);
+        f.row(row);
     }
     f.note("paper: mcast Broadcast beats the best P2P scheme by up to 1.3x (our pipelined-chain/scatter-AG baselines bracket UCC's bandwidth-optimized bcast) and binary tree by up to 4.75x");
     f.note("paper: mcast Allgather matches ring at 128-256 KiB (both receive-bound); mcast shows much lower variability (CV)");
@@ -180,8 +235,9 @@ pub fn fig11() -> FigData {
 }
 
 /// Fig. 12: switch port counters across the 18 switches, 64 KiB messages,
-/// 10 iterations.
-pub fn fig12() -> FigData {
+/// 10 iterations. Each `(algorithm, iteration)` is an independent
+/// simulation, fanned out over `jobs` workers.
+pub fn fig12(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "fig12",
         "Traffic across all 18 switches (port RX+TX counters; 64 KiB, 10 iterations)",
@@ -196,43 +252,59 @@ pub fn fig12() -> FigData {
     let n = 64usize << 10;
     let iters = 10usize;
     let root = Rank(0);
-
-    let mcast_bcast = des::run_iterations(
-        Topology::ucc_testbed,
-        FabricConfig::ucc_default(),
-        mcast_proto(n),
-        CollectiveKind::Broadcast { root },
-        n,
-        iters,
-    );
-    let mcast_ag = des::run_iterations(
-        Topology::ucc_testbed,
-        FabricConfig::ucc_default(),
-        mcast_proto(n),
-        CollectiveKind::Allgather,
-        n,
-        iters,
-    );
-    let sum_switch = |outs: &[mcag_core::CollectiveOutcome]| -> u64 {
-        outs.iter()
-            .map(|o| o.traffic.switch_port_rxtx_bytes(&Topology::ucc_testbed()))
-            .sum()
-    };
-    let bc_mc = sum_switch(&mcast_bcast);
-    let ag_mc = sum_switch(&mcast_ag);
-
-    let topo = Topology::ucc_testbed;
     let seg = seg_for(n);
-    let mut bc_p2p = 0u64;
-    let mut ag_p2p = 0u64;
-    for i in 0..iters {
+
+    // One job per (series, iteration): 4 series x `iters` independent
+    // simulations, each returning its switch-port byte count. Per-iter
+    // seeds match `des::run_iterations` (base seed + iteration).
+    #[derive(Clone, Copy)]
+    enum Series {
+        McastBcast,
+        McastAg,
+        P2pBcast,
+        P2pAg,
+    }
+    let mut sims = Vec::new();
+    for series in [
+        Series::McastBcast,
+        Series::McastAg,
+        Series::P2pBcast,
+        Series::P2pAg,
+    ] {
+        for i in 0..iters {
+            sims.push((series, i));
+        }
+    }
+    let bytes = par_map(jobs, &sims, |&(series, i)| {
         let mut cfg = FabricConfig::ucc_default();
         cfg.seed = cfg.seed.wrapping_add(i as u64);
-        let b = run_p2p(topo(), cfg.clone(), knomial_broadcast(p, root, n, 4), seg);
-        bc_p2p += b.traffic.switch_port_rxtx_bytes(&topo());
-        let a = run_p2p(topo(), cfg, ring_allgather(p, n), seg);
-        ag_p2p += a.traffic.switch_port_rxtx_bytes(&topo());
-    }
+        let topo = Topology::ucc_testbed();
+        match series {
+            Series::McastBcast => des::run_collective(
+                topo,
+                cfg,
+                mcast_proto(n),
+                CollectiveKind::Broadcast { root },
+                n,
+            )
+            .traffic
+            .switch_port_rxtx_bytes(&Topology::ucc_testbed()),
+            Series::McastAg => {
+                des::run_collective(topo, cfg, mcast_proto(n), CollectiveKind::Allgather, n)
+                    .traffic
+                    .switch_port_rxtx_bytes(&Topology::ucc_testbed())
+            }
+            Series::P2pBcast => run_p2p(topo, cfg, knomial_broadcast(p, root, n, 4), seg)
+                .traffic
+                .switch_port_rxtx_bytes(&Topology::ucc_testbed()),
+            Series::P2pAg => run_p2p(topo, cfg, ring_allgather(p, n), seg)
+                .traffic
+                .switch_port_rxtx_bytes(&Topology::ucc_testbed()),
+        }
+    });
+    let series_sum = |s: usize| -> u64 { bytes[s * iters..(s + 1) * iters].iter().sum() };
+    let (bc_mc, ag_mc, bc_p2p, ag_p2p) =
+        (series_sum(0), series_sum(1), series_sum(2), series_sum(3));
 
     f.row(vec![
         "Broadcast".into(),
@@ -263,8 +335,9 @@ pub fn fig12() -> FigData {
 }
 
 /// Appendix B: measured speedup of `{AG_mc, RS_inc}` over
-/// `{AG_ring, RS_ring}` against the model `S = 2 − 2/P`.
-pub fn appb() -> FigData {
+/// `{AG_ring, RS_ring}` against the model `S = 2 − 2/P`, one job per
+/// rank count.
+pub fn appb(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "appb",
         "Concurrent {Allgather, Reduce-Scatter}: measured vs modeled speedup (N = 256 KiB)",
@@ -277,7 +350,8 @@ pub fn appb() -> FigData {
         ],
     );
     let n = 256usize << 10;
-    for p in [4u32, 8, 16, 32] {
+    let ps = [4u32, 8, 16, 32];
+    let rows = par_map(jobs, &ps, |&p| {
         let topo = || Topology::single_switch(p as usize, LinkRate::CX3_56G, 100);
         let ring = run_p2p_concurrent(
             topo(),
@@ -299,13 +373,16 @@ pub fn appb() -> FigData {
         );
         assert!(opt.stats.all_done());
         let t_opt = opt.pair_completion_ns();
-        f.row(vec![
+        vec![
             p.to_string(),
             format!("{:.1}", t_ring as f64 / 1e3),
             format!("{:.1}", t_opt as f64 / 1e3),
             format!("{:.2}", t_ring as f64 / t_opt as f64),
             format!("{:.2}", 2.0 - 2.0 / p as f64),
-        ]);
+        ]
+    });
+    for row in rows {
+        f.row(row);
     }
     f.note("the reduction itself happens inside the simulated switches (SHARP-style); both pairs share NIC round-robin arbitration and links");
     f
@@ -341,7 +418,7 @@ mod tests {
 
     #[test]
     fn appb_speedup_grows_with_p() {
-        let f = appb();
+        let f = appb(2);
         let speedups: Vec<f64> = f
             .rows
             .iter()

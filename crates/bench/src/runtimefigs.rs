@@ -9,6 +9,7 @@
 //! column and across tenant rows.
 
 use crate::data::FigData;
+use mcag_exec::par_map;
 use mcag_runtime::{JobKind, PoolConfig, Runtime, RuntimeConfig, RuntimeReport};
 use mcag_simnet::Topology;
 use mcag_verbs::LinkRate;
@@ -39,8 +40,11 @@ pub fn run_scenario(tenants: usize, capacity: usize) -> RuntimeReport {
     rt.run_to_completion()
 }
 
-/// Tenant-count × pool-capacity sweep.
-pub fn runtime_multitenant() -> FigData {
+/// Tenant-count × pool-capacity sweep. Each scenario is an independent
+/// runtime (its own queue, pool, and per-batch fabrics), fanned out over
+/// `jobs` workers; within a scenario the batches run serially so the
+/// virtual clock is identical to the `jobs = 1` sweep.
+pub fn runtime_multitenant(jobs: usize) -> FigData {
     let mut f = FigData::new(
         "runtime_multitenant",
         "Multi-tenant runtime: group-pool capacity vs hit rate, queueing, and latency (8 ranks, 3 AGs/tenant)",
@@ -55,27 +59,34 @@ pub fn runtime_multitenant() -> FigData {
             "makespan (ms)",
         ],
     );
+    let mut scenarios = Vec::new();
     for tenants in [4usize, 8, 16] {
         for capacity in [2usize, 4, 8, 16] {
-            let r = run_scenario(tenants, capacity);
-            assert_eq!(r.completed_jobs(), tenants * 3, "all jobs must finish");
-            let queue_us: f64 = r
-                .jobs
-                .iter()
-                .map(|j| j.queue_ns() as f64 / 1e3)
-                .sum::<f64>()
-                / r.jobs.len() as f64;
-            f.row(vec![
-                tenants.to_string(),
-                capacity.to_string(),
-                r.batches.to_string(),
-                format!("{:.1}%", r.hit_rate() * 100.0),
-                r.pool.evictions.to_string(),
-                format!("{queue_us:.1}"),
-                format!("{:.1}", r.mean_latency_ns() / 1e3),
-                format!("{:.2}", r.makespan_ns as f64 / 1e6),
-            ]);
+            scenarios.push((tenants, capacity));
         }
+    }
+    let rows = par_map(jobs, &scenarios, |&(tenants, capacity)| {
+        let r = run_scenario(tenants, capacity);
+        assert_eq!(r.completed_jobs(), tenants * 3, "all jobs must finish");
+        let queue_us: f64 = r
+            .jobs
+            .iter()
+            .map(|j| j.queue_ns() as f64 / 1e3)
+            .sum::<f64>()
+            / r.jobs.len() as f64;
+        vec![
+            tenants.to_string(),
+            capacity.to_string(),
+            r.batches.to_string(),
+            format!("{:.1}%", r.hit_rate() * 100.0),
+            r.pool.evictions.to_string(),
+            format!("{queue_us:.1}"),
+            format!("{:.1}", r.mean_latency_ns() / 1e3),
+            format!("{:.2}", r.makespan_ns as f64 / 1e6),
+        ]
+    });
+    for row in rows {
+        f.row(row);
     }
     f.note("hit rate grows monotonically with capacity (LRU inclusion); once the table holds every tenant's trees, rebuild churn disappears and queueing is pure fabric contention");
     f.note("small pools also shrink batches (a batch pins at most `capacity` groups), so capacity starves parallelism twice: SM reprogramming time and fewer concurrent jobs");

@@ -16,6 +16,13 @@
 //! against this baseline. `simcore_smoke` runs the same shapes at
 //! bounded sizes for CI and writes `BENCH_simcore_smoke.json` so it
 //! never clobbers the checked-in full-mode baseline.
+//!
+//! Unlike the sweep generators, these scenarios run **serially even
+//! under `figures --jobs N`**: each one measures engine events per
+//! *wall-clock* second, and concurrent scenario runs would contend for
+//! cores and corrupt the recorded baseline. The parallel executor's own
+//! wall-clock trajectory is measured deliberately by the
+//! `parallel_scaling` generator (`BENCH_parallel.json`).
 
 use crate::data::FigData;
 use crate::netfigs::sim_mtu_for;

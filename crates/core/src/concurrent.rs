@@ -20,8 +20,6 @@ use crate::ProtocolConfig;
 use mcag_simnet::fabric::RunStats;
 use mcag_simnet::{Ctx, Fabric, FabricConfig, Payload, RankApp, SimTime, Topology, TrafficReport};
 use mcag_verbs::{CollectiveId, Cqe, CqeOpcode, ImmLayout, McastGroupId, Mtu, QpNum, Rank};
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Drain-notification token used by [`IncRsApp`] (offset by the
@@ -30,9 +28,6 @@ use std::sync::Arc;
 /// Distinct from [`crate::protocol::McastRankApp`]'s cutoff timer (1) and
 /// TX-drain tokens (≥ 16) so the two can share a token namespace.
 pub const RS_TX_TOKEN: u64 = 5;
-
-/// Per-rank `(start, end)` completion records, filled as ranks finish.
-pub type RsTimes = Rc<RefCell<Vec<Option<(SimTime, SimTime)>>>>;
 
 /// In-network-compute Reduce-Scatter endpoint: contributes every foreign
 /// shard into the switch reduction tree and waits for its own reduced
@@ -54,12 +49,13 @@ pub struct IncRsApp {
     token_base: u64,
     t_start: SimTime,
     t_done: Option<SimTime>,
-    results: RsTimes,
 }
 
 impl IncRsApp {
     /// Build the endpoint. `shard_len` is `N` (bytes of the reduced shard
-    /// each rank keeps; the input vector is `N·P`).
+    /// each rank keeps; the input vector is `N·P`). The `(start, end)`
+    /// completion record is read back with [`IncRsApp::times`] after the
+    /// run.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         p: u32,
@@ -70,7 +66,6 @@ impl IncRsApp {
         coll: CollectiveId,
         qp: QpNum,
         group: McastGroupId,
-        results: RsTimes,
     ) -> IncRsApp {
         IncRsApp {
             p,
@@ -89,7 +84,6 @@ impl IncRsApp {
             token_base: 0,
             t_start: SimTime::ZERO,
             t_done: None,
-            results,
         }
     }
 
@@ -110,13 +104,18 @@ impl IncRsApp {
         self.released
     }
 
+    /// `(start, end)` completion record, owned by the app and harvested
+    /// by the driver after the run (`None` until released).
+    pub fn times(&self) -> Option<(SimTime, SimTime)> {
+        self.t_done.map(|d| (self.t_start, d))
+    }
+
     fn maybe_done(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
         if self.released || !self.tx_done || self.got < self.chunks_per_shard {
             return;
         }
         self.released = true;
         self.t_done = Some(ctx.now());
-        self.results.borrow_mut()[self.me.idx()] = Some((self.t_start, ctx.now()));
         if self.auto_mark_done {
             ctx.mark_done();
         }
@@ -198,6 +197,11 @@ impl AgRsDuplexApp {
             self.marked = true;
             ctx.mark_done();
         }
+    }
+
+    /// Decompose into the two endpoints (harvest path).
+    pub fn into_parts(self) -> (McastRankApp, IncRsApp) {
+        (self.ag, self.rs)
     }
 }
 
@@ -297,8 +301,6 @@ pub fn run_concurrent_ag_rs(
         .collect();
     let rs_group = fab.create_group(&members);
 
-    let ag_results = Rc::new(RefCell::new(vec![RankTiming::default(); p as usize]));
-    let rs_results = Rc::new(RefCell::new(vec![None; p as usize]));
     for &r in &members {
         let ctrl = fab.add_qp(r, mcag_verbs::Transport::Rc, 0);
         let mut subgroup_qps = Vec::new();
@@ -319,7 +321,6 @@ pub fn run_concurrent_ag_rs(
                 groups: ag_groups.clone(),
             },
             cutoff,
-            Rc::clone(&ag_results),
         );
         let rs = IncRsApp::new(
             p,
@@ -330,15 +331,19 @@ pub fn run_concurrent_ag_rs(
             CollectiveId(3),
             rs_qp,
             rs_group,
-            Rc::clone(&rs_results),
         );
         fab.set_app(r, Box::new(AgRsDuplexApp::new(ag, rs, rs_qp)));
     }
 
     let stats = fab.run();
     let traffic = fab.traffic();
-    let ag_timings = ag_results.borrow().clone();
-    let rs_times = rs_results.borrow().clone();
+    let mut ag_timings = Vec::with_capacity(p as usize);
+    let mut rs_times = Vec::with_capacity(p as usize);
+    for &r in &members {
+        let (ag, rs) = fab.take_app_as::<AgRsDuplexApp>(r).into_parts();
+        ag_timings.push(ag.timing());
+        rs_times.push(rs.times());
+    }
     ConcurrentOutcome {
         ag_timings,
         rs_times,
@@ -358,7 +363,6 @@ pub fn run_inc_reduce_scatter(
     let mut fab: Fabric<ControlMsg> = Fabric::new(topo, fabric_cfg);
     let members: Vec<Rank> = (0..p).map(Rank).collect();
     let group = fab.create_group(&members);
-    let results = Rc::new(RefCell::new(vec![None; p as usize]));
     for &r in &members {
         let qp = fab.add_qp(r, mcag_verbs::Transport::Rc, 0);
         fab.set_app(
@@ -372,13 +376,15 @@ pub fn run_inc_reduce_scatter(
                 CollectiveId(3),
                 qp,
                 group,
-                Rc::clone(&results),
             )),
         );
     }
     let stats = fab.run();
     let traffic = fab.traffic();
-    let rs_times = results.borrow().clone();
+    let rs_times = members
+        .iter()
+        .map(|&r| fab.take_app_as::<IncRsApp>(r).times())
+        .collect();
     ConcurrentOutcome {
         ag_timings: Vec::new(),
         rs_times,

@@ -11,8 +11,6 @@ use crate::ProtocolConfig;
 use mcag_simnet::fabric::RunStats;
 use mcag_simnet::{Fabric, FabricConfig, SimTime, Topology, TrafficReport};
 use mcag_verbs::{CollectiveId, Rank, Transport};
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Watchdog margin: a healthy collective (including recovery rounds, each
@@ -160,7 +158,6 @@ pub fn run_collective(
         .map(|_| fab.create_group(&members))
         .collect();
 
-    let results = Rc::new(RefCell::new(vec![RankTiming::default(); p as usize]));
     for &r in &members {
         let ctrl = fab.add_qp(r, Transport::Rc, 0);
         let mut subgroup_qps = Vec::with_capacity(groups.len());
@@ -176,13 +173,7 @@ pub fn run_collective(
         };
         fab.set_app(
             r,
-            Box::new(McastRankApp::new(
-                Arc::clone(&plan),
-                r,
-                layout,
-                cutoff,
-                Rc::clone(&results),
-            )),
+            Box::new(McastRankApp::new(Arc::clone(&plan), r, layout, cutoff)),
         );
     }
 
@@ -194,7 +185,12 @@ pub fn run_collective(
     let traffic = fab.traffic();
     let rnr = fab.total_rnr_drops();
     let drops = fab.total_fabric_drops();
-    let timings = results.borrow().clone();
+    // Harvest the owned per-app sinks: each endpoint carried its own
+    // timing row through the run; the driver assembles the table.
+    let timings = members
+        .iter()
+        .map(|&r| fab.take_app_as::<McastRankApp>(r).timing())
+        .collect();
     CollectiveOutcome {
         plan,
         timings,

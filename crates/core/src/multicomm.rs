@@ -20,8 +20,6 @@ use crate::ProtocolConfig;
 use mcag_simnet::fabric::RunStats;
 use mcag_simnet::{Ctx, Fabric, FabricConfig, Payload, RankApp, Topology, TrafficReport};
 use mcag_verbs::{CollectiveId, Cqe, Rank, Transport};
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// One rank's view of several concurrently progressing communicators.
@@ -53,6 +51,12 @@ impl MultiCommApp {
             self.marked = true;
             ctx.mark_done();
         }
+    }
+
+    /// Decompose into the per-communicator endpoints (harvest path):
+    /// entry `c` is communicator `c`'s protocol instance on this rank.
+    pub fn into_apps(self) -> Vec<McastRankApp> {
+        self.apps
     }
 }
 
@@ -127,10 +131,9 @@ pub fn run_concurrent_allgathers(
     let members: Vec<Rank> = (0..p).map(Rank).collect();
     let n_workers = fabric_cfg.host.rx_workers.max(1);
 
-    // Per-communicator plans, groups, and result sinks.
+    // Per-communicator plans and groups.
     let mut plans = Vec::with_capacity(k);
     let mut groups_per_comm = Vec::with_capacity(k);
-    let mut results = Vec::with_capacity(k);
     for c in 0..k {
         let plan = Arc::new(CollectivePlan::new(
             CollectiveKind::Allgather,
@@ -145,10 +148,6 @@ pub fn run_concurrent_allgathers(
         let groups: Vec<_> = (0..plan.num_subgroups())
             .map(|_| fab.create_group(&members))
             .collect();
-        results.push(Rc::new(RefCell::new(vec![
-            RankTiming::default();
-            p as usize
-        ])));
         plans.push(plan);
         groups_per_comm.push(groups);
     }
@@ -180,7 +179,6 @@ pub fn run_concurrent_allgathers(
                     groups: groups_per_comm[c].clone(),
                 },
                 cutoff,
-                Rc::clone(&results[c]),
             ));
         }
         fab.set_app(r, Box::new(MultiCommApp::new(apps, qp_owner)));
@@ -188,7 +186,13 @@ pub fn run_concurrent_allgathers(
 
     let stats = fab.run();
     let traffic = fab.traffic();
-    let per_comm = results.iter().map(|r| r.borrow().clone()).collect();
+    let mut per_comm = vec![vec![RankTiming::default(); p as usize]; k];
+    for &r in &members {
+        let apps = fab.take_app_as::<MultiCommApp>(r).into_apps();
+        for (c, app) in apps.into_iter().enumerate() {
+            per_comm[c][r.idx()] = app.timing();
+        }
+    }
     MultiCommOutcome {
         per_comm,
         stats,

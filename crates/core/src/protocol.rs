@@ -28,10 +28,8 @@ use crate::msg::ControlMsg;
 use crate::plan::CollectivePlan;
 use mcag_simnet::{Ctx, Payload, RankApp, SimTime};
 use mcag_verbs::{Cqe, CqeOpcode, McastGroupId, QpNum, Rank};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Range;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Timer token for the reliability cutoff.
@@ -47,7 +45,7 @@ pub const TOKEN_STRIDE: u64 = 1024;
 
 /// Per-rank phase timestamps and datapath statistics, the raw material of
 /// Fig. 10 (critical-path breakdown) and Fig. 11 (throughput).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RankTiming {
     /// Collective start.
     pub t_start: SimTime,
@@ -124,8 +122,10 @@ pub struct McastRankApp {
     cutoff_ns: u64,
     bitmap: ChunkBitmap,
     barrier: BarrierState,
+    /// Phase timestamps, owned by the app and harvested by the driver
+    /// after the run ([`McastRankApp::timing`]) — no shared result sink,
+    /// so a fully wired simulation stays `Send`.
     timing: RankTiming,
-    results: Rc<RefCell<Vec<RankTiming>>>,
 
     mcast_started: bool,
     tx_done: bool,
@@ -152,16 +152,11 @@ pub struct McastRankApp {
 }
 
 impl McastRankApp {
-    /// Build the endpoint for `me`. `results` collects final timings,
-    /// indexed by rank. `cutoff_ns` is the reliability timeout
-    /// (`expected_bytes / B_link + α`, precomputed by the driver).
-    pub fn new(
-        plan: Arc<CollectivePlan>,
-        me: Rank,
-        qps: QpLayout,
-        cutoff_ns: u64,
-        results: Rc<RefCell<Vec<RankTiming>>>,
-    ) -> McastRankApp {
+    /// Build the endpoint for `me`. `cutoff_ns` is the reliability
+    /// timeout (`expected_bytes / B_link + α`, precomputed by the
+    /// driver). Final timings are read back with [`McastRankApp::timing`]
+    /// once the run completes.
+    pub fn new(plan: Arc<CollectivePlan>, me: Rank, qps: QpLayout, cutoff_ns: u64) -> McastRankApp {
         let p = plan.num_ranks();
         let mut bitmap = ChunkBitmap::new(plan.total_chunks() as usize);
         // The local block is already in place (zero-copy: the send buffer
@@ -179,7 +174,6 @@ impl McastRankApp {
             cutoff_ns,
             bitmap,
             timing: RankTiming::default(),
-            results,
             mcast_started: false,
             tx_done: false,
             complete: false,
@@ -210,6 +204,13 @@ impl McastRankApp {
     /// Has this rank released its receive buffer (collective finished)?
     pub fn is_released(&self) -> bool {
         self.released
+    }
+
+    /// This rank's phase timestamps and datapath statistics so far
+    /// (complete once the rank released). Drivers harvest this after the
+    /// run via [`mcag_simnet::Fabric::take_app_as`].
+    pub fn timing(&self) -> RankTiming {
+        self.timing
     }
 
     fn left(&self) -> Rank {
@@ -425,7 +426,6 @@ impl McastRankApp {
         }
         self.released = true;
         self.timing.t_done = Some(ctx.now());
-        self.results.borrow_mut()[self.me.idx()] = self.timing;
         if self.auto_mark_done {
             ctx.mark_done();
         }

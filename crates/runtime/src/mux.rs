@@ -73,6 +73,13 @@ impl TenantMuxApp {
             ctx.mark_done();
         }
     }
+
+    /// Decompose into the per-job endpoints (harvest path): entry `i` is
+    /// batch slot `i`'s endpoint(s) on this rank, carrying the timings
+    /// the scheduler folds into [`crate::stats::JobRecord`]s.
+    pub(crate) fn into_slots(self) -> Vec<SlotApp> {
+        self.slots
+    }
 }
 
 impl RankApp<ControlMsg> for TenantMuxApp {

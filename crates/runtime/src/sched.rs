@@ -15,6 +15,20 @@
 //! capped at the pool capacity, so the resource model is enforced at the
 //! switch level too. Jobs in one batch genuinely contend: they share
 //! every NIC's round-robin QP arbiter and every fabric link.
+//!
+//! ## Wave execution
+//!
+//! A batch's lifecycle is split into three phases: **formation** (pick
+//! jobs, acquire/pin multicast groups, charge SM programming time — all
+//! order-sensitive and cheap), **simulation** (the expensive fabric run,
+//! a self-contained [`Send`] job), and **merge** (thread the virtual
+//! clock, emit [`JobRecord`]s). Formation never reads a simulation
+//! result — the queue and the group pool only see submissions and
+//! acquire/unpin pairs — so [`Runtime::run_to_completion_jobs`] forms
+//! every batch first, runs the formed simulations on the fork-join
+//! executor, and merges in batch order. Per-batch seeds derive from the
+//! batch index, so the resulting [`RuntimeReport`] is byte-identical to
+//! the serial `jobs = 1` run for any worker count.
 
 use crate::job::{
     AdmissionPolicy, JobId, JobKind, JobQueue, JobSpec, PendingJob, RejectReason, TenantId,
@@ -22,14 +36,12 @@ use crate::job::{
 use crate::mux::{SlotApp, TenantMuxApp};
 use crate::pool::{AcquireOutcome, GroupKey, McastGroupPool, PoolConfig};
 use crate::stats::{JobRecord, RuntimeReport, TenantStats};
-use mcag_core::concurrent::RsTimes;
-use mcag_core::protocol::{QpLayout, RankTiming};
+use mcag_core::protocol::QpLayout;
 use mcag_core::ProtocolConfig;
 use mcag_core::{des, CollectiveKind, CollectivePlan, ControlMsg, IncRsApp, McastRankApp};
+use mcag_exec::par_map;
 use mcag_simnet::{Fabric, FabricConfig, SimTime, Topology};
 use mcag_verbs::{CollectiveId, McastGroupId, Rank, Transport};
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Group-key index reserved for a tenant's in-network-reduction tree
@@ -92,8 +104,175 @@ pub struct Runtime {
     now_ns: u64,
     next_job: u64,
     batches: u64,
+    /// Batches formed so far (equals `batches` between waves; runs ahead
+    /// of it while formed batches await simulation + merge). Per-batch
+    /// fabric seeds derive from this index.
+    formed: u64,
     delivered_bytes: u64,
     moved_bytes: u64,
+}
+
+/// A batch that passed formation (jobs picked, groups pinned and paid
+/// for) and awaits simulation + merge.
+struct FormedBatch {
+    index: u64,
+    picked: Vec<PendingJob>,
+    /// `(hits, builds, rebuilds)` per picked job, recorded at acquire.
+    per_job_groups: Vec<(u32, u32, u32)>,
+    /// Subnet-manager group programming time charged before launch.
+    setup_ns: u64,
+    sim: BatchSim,
+}
+
+/// Self-contained description of one batch's fabric simulation. `Send`,
+/// so formed batches can run on the fork-join executor; everything the
+/// run needs (topology, seeded fabric config, plans) is owned here.
+struct BatchSim {
+    index: u64,
+    topo: Topology,
+    fabric: FabricConfig,
+    proto: ProtocolConfig,
+    /// One collective plan per batch slot (collective id `2i + 1`).
+    plans: Vec<Arc<CollectivePlan>>,
+    /// Whether slot `i` also runs the in-network Reduce-Scatter half
+    /// (collective id `2i + 2`).
+    with_rs: Vec<bool>,
+}
+
+/// What one simulated batch produced (simulated-time results only; the
+/// merge phase threads them onto the virtual service timeline).
+struct BatchOutcome {
+    /// Fabric time from launch to quiescence.
+    batch_ns: u64,
+    /// Per-slot completion on the fabric clock: the last rank's AG
+    /// release or RS delivery, whichever is later.
+    slot_done_ns: Vec<u64>,
+    /// Payload bytes moved across fabric links (switch-counter view).
+    moved_bytes: u64,
+}
+
+/// **Simulation** (expensive, order-free): run one formed batch on a
+/// fresh fabric to quiescence and harvest per-slot completion times from
+/// the apps' owned sinks. A pure function of the [`BatchSim`] — no
+/// runtime state — so any number of batches can execute concurrently
+/// without perturbing each other's results.
+fn simulate_batch(sim: &BatchSim) -> BatchOutcome {
+    let p = sim.topo.num_hosts() as u32;
+    let n_workers = sim.fabric.host.rx_workers.max(1);
+    let mut fab: Fabric<ControlMsg> = Fabric::new(sim.topo.clone(), sim.fabric.clone());
+    let members: Vec<Rank> = (0..p).map(Rank).collect();
+    let headroom = sim.plans.len() as u64 + 1;
+
+    // Per-slot fabric groups and cutoffs.
+    struct Slot {
+        groups: Vec<McastGroupId>,
+        rs_group: Option<McastGroupId>,
+        cutoff: u64,
+    }
+    let slots: Vec<Slot> = sim
+        .plans
+        .iter()
+        .zip(&sim.with_rs)
+        .map(|(plan, &with_rs)| {
+            let groups: Vec<McastGroupId> = (0..plan.num_subgroups())
+                .map(|_| fab.create_group(&members))
+                .collect();
+            let rs_group = with_rs.then(|| fab.create_group(&members));
+            let cutoff = des::cutoff_ns(fab.topology(), plan, &sim.proto, headroom);
+            Slot {
+                groups,
+                rs_group,
+                cutoff,
+            }
+        })
+        .collect();
+
+    // SPMD app wiring: every rank hosts one endpoint per job, muxed by
+    // QP ownership and token namespace.
+    for &r in &members {
+        let mut apps = Vec::with_capacity(slots.len());
+        let mut qp_owner = Vec::new();
+        for (i, (plan, slot)) in sim.plans.iter().zip(&slots).enumerate() {
+            let ctrl = fab.add_qp(r, Transport::Rc, 0);
+            qp_owner.push(i);
+            let mut subgroup_qps = Vec::with_capacity(slot.groups.len());
+            for (j, &g) in slot.groups.iter().enumerate() {
+                let qp = fab.add_qp(r, Transport::Ud, (i + j) % n_workers);
+                fab.attach(r, qp, g);
+                subgroup_qps.push(qp);
+                qp_owner.push(i);
+            }
+            let ag = McastRankApp::new(
+                Arc::clone(plan),
+                r,
+                QpLayout {
+                    ctrl,
+                    subgroup_qps,
+                    groups: slot.groups.clone(),
+                },
+                slot.cutoff,
+            );
+            let app = match slot.rs_group {
+                Some(rsg) => {
+                    let rs_qp = fab.add_qp(r, Transport::Rc, 0);
+                    qp_owner.push(i);
+                    let rs = IncRsApp::new(
+                        p,
+                        r,
+                        plan.send_len(),
+                        sim.proto.mtu,
+                        sim.proto.imm,
+                        CollectiveId(2 * i as u32 + 2),
+                        rs_qp,
+                        rsg,
+                    );
+                    SlotApp::AgRs { ag, rs, rs_qp }
+                }
+                None => SlotApp::Coll(ag),
+            };
+            apps.push(app);
+        }
+        fab.set_app(r, Box::new(TenantMuxApp::new(apps, qp_owner)));
+    }
+
+    // Batch watchdog: every job's cutoff already upper-bounds its drain
+    // (headroom includes the batch size), so a batch still running
+    // orders of magnitude past the summed cutoffs is livelocked. The
+    // peek-based `run_until` stops cleanly at the deadline instead of
+    // grinding toward the event cap.
+    let total_cutoff: u64 = slots.iter().map(|s| s.cutoff).sum();
+    let watchdog = SimTime::from_ns(total_cutoff.saturating_mul(des::WATCHDOG_CUTOFFS));
+    let stats = fab.run_until(watchdog);
+    assert!(
+        stats.all_done(),
+        "batch {} did not quiesce by {watchdog} (next event at {:?}): {stats:?}",
+        sim.index,
+        fab.next_event_time()
+    );
+    let moved_bytes = fab.traffic().total_data_bytes();
+
+    // Harvest the owned per-app sinks: per slot, the last rank's AG
+    // release and RS delivery.
+    let mut slot_done_ns = vec![0u64; slots.len()];
+    for &r in &members {
+        let rank_slots = fab.take_app_as::<TenantMuxApp>(r).into_slots();
+        for (i, slot_app) in rank_slots.into_iter().enumerate() {
+            let done = match slot_app {
+                SlotApp::Coll(ag) => ag.timing().t_done.map_or(0, SimTime::as_ns),
+                SlotApp::AgRs { ag, rs, .. } => {
+                    let ag_done = ag.timing().t_done.map_or(0, SimTime::as_ns);
+                    let rs_done = rs.times().map_or(0, |(_, end)| end.as_ns());
+                    ag_done.max(rs_done)
+                }
+            };
+            slot_done_ns[i] = slot_done_ns[i].max(done);
+        }
+    }
+    BatchOutcome {
+        batch_ns: stats.end_time.as_ns(),
+        slot_done_ns,
+        moved_bytes,
+    }
 }
 
 impl Runtime {
@@ -112,6 +291,7 @@ impl Runtime {
             now_ns: 0,
             next_job: 0,
             batches: 0,
+            formed: 0,
             delivered_bytes: 0,
             moved_bytes: 0,
         }
@@ -221,18 +401,30 @@ impl Runtime {
     /// Dispatch and run the next fair batch; `None` when the queue is
     /// empty. Advances the virtual clock past the batch.
     pub fn run_next_batch(&mut self) -> Option<BatchReport> {
+        let formed = self.form_batch()?;
+        let outcome = simulate_batch(&formed.sim);
+        Some(self.merge_batch(formed, outcome))
+    }
+
+    /// **Formation** (order-sensitive, cheap): pick the fair batch,
+    /// acquire and pin its multicast groups (charging SM programming
+    /// time), and package the simulation as a self-contained `Send`
+    /// value. Mutates only admission state — the job queue and the group
+    /// pool — never anything a simulation produces, which is what makes
+    /// forming several batches ahead of their simulations legal.
+    fn form_batch(&mut self) -> Option<FormedBatch> {
         let picked = self
             .queue
             .pick_batch(self.cfg.max_inflight, self.pool.capacity());
         if picked.is_empty() {
             return None;
         }
-        let batch_idx = self.batches;
-        let batch_start = self.now_ns;
+        let index = self.formed;
+        self.formed += 1;
         let proto = self.cfg.proto;
         let p = self.topo.num_hosts() as u32;
 
-        // Program the batch's groups (pinned until the batch ends),
+        // Program the batch's groups (pinned for the rest of formation),
         // charging subnet-manager time on the virtual clock.
         let mut setup_ns = 0u64;
         let mut per_job_groups: Vec<(u32, u32, u32)> = Vec::with_capacity(picked.len());
@@ -249,161 +441,96 @@ impl Runtime {
             }
             per_job_groups.push((hits, builds, rebuilds));
         }
+        // The batch's residency is decided; release the pins so the next
+        // formed batch sees the same LRU order the serial interleave
+        // (acquire → run → unpin → acquire …) would have produced.
+        self.pool.unpin_all();
 
-        // Fresh fabric for the batch; its group table is capped at the
-        // pool capacity so overcommit would trip the switch model too.
-        let mut fcfg = self.cfg.fabric.clone();
-        fcfg.seed = self.cfg.fabric.seed.wrapping_add(batch_idx);
-        fcfg.mcast_table_capacity = Some(self.pool.capacity());
-        let n_workers = fcfg.host.rx_workers.max(1);
-        let mut fab: Fabric<ControlMsg> = Fabric::new(self.topo.clone(), fcfg);
-        let members: Vec<Rank> = (0..p).map(Rank).collect();
-
-        // Per-slot plans, fabric groups, and result sinks. Collective ids
-        // 2i+1 (AG/Bcast) and 2i+2 (RS) keep every stream distinct in the
-        // immediate bits.
+        // Collective ids 2i+1 (AG/Bcast) and 2i+2 (RS) keep every stream
+        // distinct in the immediate bits.
         assert!(
             2 * picked.len() as u32 + 2 <= proto.imm.max_coll_id(),
             "batch of {} jobs exceeds the immediate-layout collective-id space",
             picked.len()
         );
-        struct Slot {
-            plan: Arc<CollectivePlan>,
-            groups: Vec<McastGroupId>,
-            rs_group: Option<McastGroupId>,
-            cutoff: u64,
-            ag_results: Rc<RefCell<Vec<RankTiming>>>,
-            rs_results: RsTimes,
-        }
-        let headroom = picked.len() as u64 + 1;
-        let mut slots: Vec<Slot> = Vec::with_capacity(picked.len());
-        for (i, job) in picked.iter().enumerate() {
-            let kind = match job.spec.kind {
-                JobKind::Broadcast { root } => CollectiveKind::Broadcast { root },
-                JobKind::Allgather | JobKind::AgRs => CollectiveKind::Allgather,
-            };
-            let plan = Arc::new(CollectivePlan::new(
-                kind,
-                p,
-                job.spec.send_len,
-                proto.mtu,
-                proto.imm,
-                CollectiveId(2 * i as u32 + 1),
-                proto.subgroups,
-                proto.chains,
-            ));
-            let groups: Vec<McastGroupId> = (0..plan.num_subgroups())
-                .map(|_| fab.create_group(&members))
-                .collect();
-            let rs_group =
-                matches!(job.spec.kind, JobKind::AgRs).then(|| fab.create_group(&members));
-            let cutoff = des::cutoff_ns(fab.topology(), &plan, &proto, headroom);
-            slots.push(Slot {
-                plan,
-                groups,
-                rs_group,
-                cutoff,
-                ag_results: Rc::new(RefCell::new(vec![RankTiming::default(); p as usize])),
-                rs_results: Rc::new(RefCell::new(vec![None; p as usize])),
-            });
-        }
 
-        // SPMD app wiring: every rank hosts one endpoint per job, muxed
-        // by QP ownership and token namespace.
-        for &r in &members {
-            let mut apps = Vec::with_capacity(slots.len());
-            let mut qp_owner = Vec::new();
-            for (i, (job, slot)) in picked.iter().zip(&slots).enumerate() {
-                let ctrl = fab.add_qp(r, Transport::Rc, 0);
-                qp_owner.push(i);
-                let mut subgroup_qps = Vec::with_capacity(slot.groups.len());
-                for (j, &g) in slot.groups.iter().enumerate() {
-                    let qp = fab.add_qp(r, Transport::Ud, (i + j) % n_workers);
-                    fab.attach(r, qp, g);
-                    subgroup_qps.push(qp);
-                    qp_owner.push(i);
-                }
-                let ag = McastRankApp::new(
-                    Arc::clone(&slot.plan),
-                    r,
-                    QpLayout {
-                        ctrl,
-                        subgroup_qps,
-                        groups: slot.groups.clone(),
-                    },
-                    slot.cutoff,
-                    Rc::clone(&slot.ag_results),
-                );
-                let app = match slot.rs_group {
-                    Some(rsg) => {
-                        let rs_qp = fab.add_qp(r, Transport::Rc, 0);
-                        qp_owner.push(i);
-                        let rs = IncRsApp::new(
-                            p,
-                            r,
-                            job.spec.send_len,
-                            proto.mtu,
-                            proto.imm,
-                            CollectiveId(2 * i as u32 + 2),
-                            rs_qp,
-                            rsg,
-                            Rc::clone(&slot.rs_results),
-                        );
-                        SlotApp::AgRs { ag, rs, rs_qp }
-                    }
-                    None => SlotApp::Coll(ag),
+        // Fabric config for the batch: per-batch seed, group table capped
+        // at the pool capacity so overcommit would trip the switch model.
+        let mut fabric = self.cfg.fabric.clone();
+        fabric.seed = self.cfg.fabric.seed.wrapping_add(index);
+        fabric.mcast_table_capacity = Some(self.pool.capacity());
+        let plans = picked
+            .iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let kind = match job.spec.kind {
+                    JobKind::Broadcast { root } => CollectiveKind::Broadcast { root },
+                    JobKind::Allgather | JobKind::AgRs => CollectiveKind::Allgather,
                 };
-                apps.push(app);
-            }
-            fab.set_app(r, Box::new(TenantMuxApp::new(apps, qp_owner)));
-        }
+                Arc::new(CollectivePlan::new(
+                    kind,
+                    p,
+                    job.spec.send_len,
+                    proto.mtu,
+                    proto.imm,
+                    CollectiveId(2 * i as u32 + 1),
+                    proto.subgroups,
+                    proto.chains,
+                ))
+            })
+            .collect();
+        let with_rs = picked
+            .iter()
+            .map(|job| matches!(job.spec.kind, JobKind::AgRs))
+            .collect();
+        let sim = BatchSim {
+            index,
+            topo: self.topo.clone(),
+            fabric,
+            proto,
+            plans,
+            with_rs,
+        };
+        Some(FormedBatch {
+            index,
+            picked,
+            per_job_groups,
+            setup_ns,
+            sim,
+        })
+    }
 
-        // Batch watchdog: every job's cutoff already upper-bounds its
-        // drain (headroom includes the batch size), so a batch still
-        // running orders of magnitude past the summed cutoffs is
-        // livelocked. The peek-based `run_until` stops cleanly at the
-        // deadline instead of grinding toward the event cap.
-        let total_cutoff: u64 = slots.iter().map(|s| s.cutoff).sum();
-        let watchdog = SimTime::from_ns(total_cutoff.saturating_mul(des::WATCHDOG_CUTOFFS));
-        let stats = fab.run_until(watchdog);
-        assert!(
-            stats.all_done(),
-            "batch {batch_idx} did not quiesce by {watchdog} (next event at {:?}): {stats:?}",
-            fab.next_event_time()
-        );
-        self.moved_bytes += fab.traffic().total_data_bytes();
+    /// **Merge** (order-sensitive, cheap): thread the batch onto the
+    /// virtual service timeline and emit its [`JobRecord`]s. Called in
+    /// batch order, so the clock and every report field are identical
+    /// whether the simulations ran serially or on the executor.
+    fn merge_batch(&mut self, formed: FormedBatch, outcome: BatchOutcome) -> BatchReport {
+        let FormedBatch {
+            index,
+            picked,
+            per_job_groups,
+            setup_ns,
+            sim,
+        } = formed;
+        let batch_start = self.now_ns;
+        self.moved_bytes += outcome.moved_bytes;
 
         // Account every job on the virtual timeline: queueing ended at
         // dispatch; group programming happens before data flies.
         let dispatch_ns = batch_start + setup_ns;
         let mut job_ids = Vec::with_capacity(picked.len());
-        for (i, (job, slot)) in picked.iter().zip(&slots).enumerate() {
-            let ag_done = slot
-                .ag_results
-                .borrow()
-                .iter()
-                .map(|t| t.t_done.map_or(0, SimTime::as_ns))
-                .max()
-                .unwrap_or(0);
-            let rs_done = slot
-                .rs_results
-                .borrow()
-                .iter()
-                .flatten()
-                .map(|(_, end)| end.as_ns())
-                .max()
-                .unwrap_or(0);
-            let delivered = delivered_bytes(job.spec.kind, &slot.plan);
+        for (i, job) in picked.iter().enumerate() {
+            let delivered = delivered_bytes(job.spec.kind, &sim.plans[i]);
             let (group_hits, group_builds, group_rebuilds) = per_job_groups[i];
             let rec = JobRecord {
                 id: job.id,
                 tenant: job.spec.tenant,
                 kind: job.spec.kind,
                 send_len: job.spec.send_len,
-                batch: batch_idx,
+                batch: index,
                 submitted_ns: job.submitted_ns,
                 started_ns: batch_start,
-                finished_ns: dispatch_ns + ag_done.max(rs_done),
+                finished_ns: dispatch_ns + outcome.slot_done_ns[i],
                 delivered_bytes: delivered,
                 group_hits,
                 group_builds,
@@ -420,21 +547,41 @@ impl Runtime {
             self.records.push(rec);
         }
 
-        self.pool.unpin_all();
-        self.now_ns = dispatch_ns + stats.end_time.as_ns();
+        self.now_ns = dispatch_ns + outcome.batch_ns;
         self.batches += 1;
-        Some(BatchReport {
-            index: batch_idx,
+        BatchReport {
+            index,
             started_ns: batch_start,
             setup_ns,
-            batch_ns: stats.end_time.as_ns(),
+            batch_ns: outcome.batch_ns,
             jobs: job_ids,
-        })
+        }
     }
 
-    /// Drain the queue batch by batch and return the final report.
+    /// Drain the queue batch by batch and return the final report
+    /// (serial reference path — identical to
+    /// [`Runtime::run_to_completion_jobs`] with `jobs = 1`).
     pub fn run_to_completion(&mut self) -> RuntimeReport {
         while self.run_next_batch().is_some() {}
+        self.report()
+    }
+
+    /// Drain the queue with up to `jobs` batch simulations in flight:
+    /// batch *formation* stays sequential (admission and the group pool
+    /// are order-sensitive and cheap), the expensive per-batch fabric
+    /// runs execute on the fork-join executor, and results merge in
+    /// batch order. Per-batch seeds derive from the batch index, so the
+    /// returned report is **byte-identical** to [`run_to_completion`]
+    /// (`Runtime::run_to_completion`) for every `jobs` value.
+    pub fn run_to_completion_jobs(&mut self, jobs: usize) -> RuntimeReport {
+        let mut formed = Vec::new();
+        while let Some(fb) = self.form_batch() {
+            formed.push(fb);
+        }
+        let outcomes = par_map(jobs, &formed, |fb| simulate_batch(&fb.sim));
+        for (fb, outcome) in formed.into_iter().zip(outcomes) {
+            self.merge_batch(fb, outcome);
+        }
         self.report()
     }
 
@@ -550,6 +697,30 @@ mod tests {
         assert_eq!(late.len(), 2);
         for j in late {
             assert_eq!(j.queue_ns(), b1.started_ns);
+        }
+    }
+
+    #[test]
+    fn wave_execution_matches_serial_bit_for_bit() {
+        let submit_all = |rt: &mut Runtime| {
+            let a = rt.register_tenant("a");
+            let b = rt.register_tenant("b");
+            let c = rt.register_tenant("c");
+            for _ in 0..3 {
+                rt.submit(a, JobKind::Allgather, 16 << 10).unwrap();
+                rt.submit(b, JobKind::Broadcast { root: Rank(2) }, 32 << 10)
+                    .unwrap();
+                rt.submit(c, JobKind::AgRs, 16 << 10).unwrap();
+            }
+        };
+        let mut serial = Runtime::new(star(4), small_cfg());
+        submit_all(&mut serial);
+        let serial_report = serial.run_to_completion();
+        for jobs in [1usize, 3] {
+            let mut wave = Runtime::new(star(4), small_cfg());
+            submit_all(&mut wave);
+            let wave_report = wave.run_to_completion_jobs(jobs);
+            assert_eq!(wave_report, serial_report, "jobs={jobs}");
         }
     }
 

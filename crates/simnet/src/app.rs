@@ -32,7 +32,15 @@ pub enum Payload<M> {
 }
 
 /// A per-rank protocol endpoint driven by the fabric.
-pub trait RankApp<M> {
+///
+/// The `Any + Send` supertraits are load-bearing: `Any` lets drivers
+/// harvest their concrete app (and the results it owns) back out of the
+/// fabric via [`crate::Fabric::take_app_as`] after a run, and `Send`
+/// guarantees — at compile time — that a fully wired simulation (fabric
+/// plus apps) can move to a worker thread of the fork-join sweep
+/// executor. An app holding an `Rc`/`RefCell` result sink fails to
+/// *build*, rather than silently re-serializing every sweep.
+pub trait RankApp<M>: std::any::Any + Send {
     /// Called once at simulation start.
     fn on_start(&mut self, ctx: &mut Ctx<'_, M>);
 

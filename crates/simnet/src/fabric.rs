@@ -344,6 +344,25 @@ impl<M: Clone + 'static> Fabric<M> {
         self.apps[rank.idx()] = Some(app);
     }
 
+    /// Remove and return `rank`'s endpoint — the harvest half of the
+    /// owned-sink protocol: apps accumulate their results privately
+    /// during the run and the driver takes them back afterwards (no
+    /// shared `Rc<RefCell<…>>` sinks, so the whole simulation stays
+    /// `Send`). Panics if no app is installed (or it was already taken).
+    pub fn take_app(&mut self, rank: Rank) -> Box<dyn RankApp<M>> {
+        self.apps[rank.idx()]
+            .take()
+            .unwrap_or_else(|| panic!("no app installed for {rank}"))
+    }
+
+    /// [`Fabric::take_app`], downcast to the concrete app type the
+    /// driver installed. Panics if the installed app is not an `A`.
+    pub fn take_app_as<A: RankApp<M>>(&mut self, rank: Rank) -> A {
+        let app: Box<dyn std::any::Any> = self.take_app(rank);
+        *app.downcast::<A>()
+            .unwrap_or_else(|_| panic!("app at {rank} is not a {}", std::any::type_name::<A>()))
+    }
+
     /// Run to completion: starts every app, then processes events until
     /// all ranks are done (or the queue empties / the event cap trips).
     pub fn run(&mut self) -> RunStats {
@@ -1310,6 +1329,37 @@ mod tests {
         fab.create_group(&members);
         fab.create_group(&members);
         fab.create_group(&members); // third group exceeds the table
+    }
+
+    #[test]
+    fn fabric_is_send() {
+        // The whole simulation — fabric, queue, slab, installed apps —
+        // must be movable to a sweep-executor worker thread. A compile
+        // check, but kept as a test so the property is named and
+        // searchable.
+        fn assert_send<T: Send>() {}
+        assert_send::<Fabric<Msg>>();
+        assert_send::<Box<dyn RankApp<Msg>>>();
+    }
+
+    #[test]
+    fn take_app_roundtrips_concrete_type() {
+        let (mut fab, _) = bcast_fabric(4, 4, FabricConfig::ideal());
+        let stats = fab.run();
+        assert!(stats.all_done());
+        for r in 0..4 {
+            let app: BcastApp = fab.take_app_as(Rank(r));
+            // Leaves counted every chunk; the root's counter stays 0.
+            assert_eq!(app.got, if r == 0 { 0 } else { 4 });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn take_app_as_panics_on_type_mismatch() {
+        let (mut fab, _) = bcast_fabric(2, 1, FabricConfig::ideal());
+        fab.run();
+        let _: TimerApp = fab.take_app_as(Rank(0));
     }
 
     #[test]

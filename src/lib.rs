@@ -8,6 +8,8 @@
 //! * [`core`] — the multicast Broadcast/Allgather protocol and drivers.
 //! * [`runtime`] — the multi-tenant collective runtime: multicast-group
 //!   pooling, admission control, and fair job scheduling.
+//! * [`exec`] — the deterministic fork-join executor parallelizing
+//!   simulation sweeps and runtime batch waves (slot-ordered `par_map`).
 //! * [`simnet`] — the discrete-event RDMA fabric (fat-trees, multicast
 //!   trees, in-network reduction, drop injection, port counters).
 //! * [`memfabric`] — the threaded real-byte fabric for end-to-end
@@ -39,6 +41,7 @@
 pub use mcag_baselines as baselines;
 pub use mcag_core as core;
 pub use mcag_dpa as dpa;
+pub use mcag_exec as exec;
 pub use mcag_memfabric as memfabric;
 pub use mcag_models as models;
 pub use mcag_runtime as runtime;

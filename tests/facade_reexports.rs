@@ -65,6 +65,13 @@ fn memfabric_reachable_and_constructs() {
 }
 
 #[test]
+fn exec_reachable_and_maps() {
+    let doubled = mcast_allgather::exec::par_map(2, &[1u32, 2, 3], |&x| x * 2);
+    assert_eq!(doubled, vec![2, 4, 6]);
+    assert!(mcast_allgather::exec::default_jobs() >= 1);
+}
+
+#[test]
 fn runtime_reachable_and_constructs() {
     let topo = mcast_allgather::simnet::Topology::single_switch(4, LinkRate::CX3_56G, 100);
     let mut rt = mcast_allgather::runtime::Runtime::new(
