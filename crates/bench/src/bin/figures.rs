@@ -59,6 +59,7 @@ fn main() {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut timings: Vec<(String, f64)> = Vec::with_capacity(ids.len());
+    let mut job_timings: Vec<(String, Vec<(String, f64)>)> = Vec::new();
     for id in &ids {
         let t0 = std::time::Instant::now();
         let fig = generate_with(id, jobs);
@@ -68,6 +69,9 @@ fn main() {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{id}.csv");
             std::fs::write(&path, fig.to_csv()).expect("write csv");
+        }
+        if !fig.job_wall_ms.is_empty() {
+            job_timings.push((id.clone(), fig.job_wall_ms));
         }
         timings.push((id.clone(), wall_ms));
     }
@@ -82,6 +86,15 @@ fn main() {
         let mut csv = String::from("figure,wall_ms,jobs\n");
         for (id, ms) in &timings {
             csv.push_str(&format!("{id},{ms:.1},{jobs}\n"));
+        }
+        // Per-job wall times from sweep generators that measure their
+        // individual simulations (`FigData::job_wall_ms`), as
+        // `<figure>:<job>` rows — the cost-skew data behind
+        // largest-first scheduling.
+        for (id, per_job) in &job_timings {
+            for (label, ms) in per_job {
+                csv.push_str(&format!("{id}:{label},{ms:.3},{jobs}\n"));
+            }
         }
         std::fs::write(format!("{dir}/timings.csv"), csv).expect("write timings csv");
     }

@@ -16,6 +16,12 @@ pub struct FigData {
     pub rows: Vec<Vec<String>>,
     /// Free-form notes: calibration caveats, expected shapes.
     pub notes: Vec<String>,
+    /// Per-job wall times `(label, ms)` for sweep generators that
+    /// measure individual simulations (cost-skew analysis). The
+    /// `figures` binary appends these to `timings.csv` as
+    /// `<id>:<label>` rows; they never enter rendered tables or
+    /// determinism digests.
+    pub job_wall_ms: Vec<(String, f64)>,
 }
 
 impl FigData {
@@ -27,7 +33,13 @@ impl FigData {
             columns: columns.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            job_wall_ms: Vec::new(),
         }
+    }
+
+    /// Record one job's wall time (see [`FigData::job_wall_ms`]).
+    pub fn job_timing(&mut self, label: impl Into<String>, wall_ms: f64) {
+        self.job_wall_ms.push((label.into(), wall_ms));
     }
 
     /// Append a row (must match the column count).

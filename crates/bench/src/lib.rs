@@ -24,10 +24,13 @@
 //!
 //! Beyond the paper, `simcore` / `simcore_smoke` measure the simulator
 //! engine itself (timer wheel vs reference heap, 188- and 512-node
-//! scenarios) and write the `BENCH_simcore.json` perf baseline, and
+//! scenarios) and write the `BENCH_simcore.json` perf baseline,
 //! `parallel_scaling` / `parallel_scaling_smoke` measure the fork-join
 //! sweep executor (jobs = 1/2/4 over the same simulation sweep) and
-//! write `BENCH_parallel.json`.
+//! write `BENCH_parallel.json`, and `faultfigs` / `faultfigs_smoke`
+//! sweep fault model × failure rate × recovery cutoff across hundreds
+//! of seeds and write the p50/p99/p999 completion-time tails to
+//! `BENCH_faults.json`.
 //!
 //! Every sweep-shaped generator takes a `jobs` worker count and fans its
 //! independent simulations out through [`mcag_exec::par_map`]; outputs
@@ -40,6 +43,7 @@
 pub mod ablations;
 pub mod data;
 pub mod dpafigs;
+pub mod faultfigs;
 pub mod modelfigs;
 pub mod netfigs;
 pub mod parallel;
@@ -65,15 +69,19 @@ pub const ABLATIONS: &[&str] = &[
     "runtime_multitenant",
 ];
 
-/// Simulator-performance generators: measure the DES engine itself
-/// (timer wheel vs reference heap, `BENCH_simcore.json`) and the
-/// fork-join sweep executor (`BENCH_parallel.json`). The unsuffixed ids
-/// are the recorded baselines; `*_smoke` are the bounded CI variants.
+/// Simulator-performance and scenario-sweep generators: the DES engine
+/// itself (timer wheel vs reference heap, `BENCH_simcore.json`), the
+/// fork-join sweep executor (`BENCH_parallel.json`), and the seeded
+/// failure sweeps with tail-latency reporting (`BENCH_faults.json`).
+/// The unsuffixed ids are the recorded baselines; `*_smoke` are the
+/// bounded CI variants.
 pub const PERF: &[&str] = &[
     "simcore",
     "simcore_smoke",
     "parallel_scaling",
     "parallel_scaling_smoke",
+    "faultfigs",
+    "faultfigs_smoke",
 ];
 
 /// Run one generator by id, serially (`jobs = 1`).
@@ -105,6 +113,8 @@ pub fn generate_with(id: &str, jobs: usize) -> FigData {
         "ablation_rq_depth" => ablations::ablation_rq_depth(jobs),
         "ablation_multicomm" => ablations::ablation_multicomm(jobs),
         "runtime_multitenant" => runtimefigs::runtime_multitenant(jobs),
+        "faultfigs" => faultfigs::faultfigs(),
+        "faultfigs_smoke" => faultfigs::faultfigs_smoke(),
         "simcore" => simcore::simcore(),
         "simcore_smoke" => simcore::simcore_smoke(),
         "parallel_scaling" => parallel::parallel_scaling(),

@@ -21,6 +21,32 @@ use std::sync::Arc;
 /// scheduler applies the same margin to whole batches.
 pub const WATCHDOG_CUTOFFS: u64 = 1024;
 
+/// Per-run recovery/termination bounds: how aggressively the protocol's
+/// reliability cutoff is stretched, and how many cutoffs the watchdog
+/// grants before declaring the run timed out. The knobs of the fault
+/// sweeps' "recovery cutoff" axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBounds {
+    /// Multiplier on the ideal-drain-time term of the cutoff timer
+    /// ([`cutoff_ns`]'s `headroom`): larger values wait longer before
+    /// falling back to the unicast recovery ring — fewer spurious
+    /// fetches on a healthy fabric, fatter tail under faults.
+    pub cutoff_headroom: u64,
+    /// Watchdog deadline in cutoffs; a run still pending after
+    /// `cutoff * watchdog_cutoffs` is abandoned ([`RunStats::all_done`]
+    /// stays false — a clean timeout, never a panic).
+    pub watchdog_cutoffs: u64,
+}
+
+impl Default for RunBounds {
+    fn default() -> RunBounds {
+        RunBounds {
+            cutoff_headroom: 1,
+            watchdog_cutoffs: WATCHDOG_CUTOFFS,
+        }
+    }
+}
+
 /// Result of one collective run on the DES fabric.
 #[derive(Debug, Clone)]
 pub struct CollectiveOutcome {
@@ -36,6 +62,10 @@ pub struct CollectiveOutcome {
     pub rnr_drops: u64,
     /// Total fabric (corruption) drops.
     pub fabric_drops: u64,
+    /// The reliability cutoff the endpoints armed (after headroom).
+    pub cutoff_ns: u64,
+    /// The watchdog deadline the run was bounded by.
+    pub deadline: SimTime,
 }
 
 impl CollectiveOutcome {
@@ -94,6 +124,25 @@ impl CollectiveOutcome {
     pub fn total_fetched(&self) -> u64 {
         self.timings.iter().map(|t| t.fetched_chunks).sum()
     }
+
+    /// True when the run did not complete within its watchdog deadline —
+    /// the clean-timeout outcome of a fault the protocol cannot recover
+    /// from (e.g. a link that never comes back).
+    pub fn timed_out(&self) -> bool {
+        !self.stats.all_done()
+    }
+
+    /// Completion time with timeouts censored at the watchdog deadline —
+    /// the value tail-latency sweeps aggregate, so a timed-out seed
+    /// contributes the (known, deterministic) bound it burned rather
+    /// than a misleading partial timing.
+    pub fn censored_completion_ns(&self) -> u64 {
+        if self.timed_out() {
+            self.deadline.as_ns()
+        } else {
+            self.completion_ns()
+        }
+    }
 }
 
 impl CollectivePlan {
@@ -127,13 +176,37 @@ pub fn cutoff_ns(
     drain_ns + proto.cutoff_alpha_ns + proto.cutoff_per_step_ns * steps
 }
 
-/// Run one multicast collective on `topo`.
+/// Run one multicast collective on `topo` with default [`RunBounds`].
 pub fn run_collective(
     topo: Topology,
     fabric_cfg: FabricConfig,
     proto: ProtocolConfig,
     kind: CollectiveKind,
     send_len: usize,
+) -> CollectiveOutcome {
+    run_collective_bounded(
+        topo,
+        fabric_cfg,
+        proto,
+        kind,
+        send_len,
+        RunBounds::default(),
+    )
+}
+
+/// Run one multicast collective on `topo` under explicit recovery
+/// bounds. Under fault injection (`FabricConfig::faults`) this is the
+/// driver of record: the cutoff headroom stretches how long endpoints
+/// tolerate holes before fetching over the recovery ring, and the
+/// watchdog converts an unrecoverable fabric into a clean timeout
+/// ([`CollectiveOutcome::timed_out`]) instead of a panic.
+pub fn run_collective_bounded(
+    topo: Topology,
+    fabric_cfg: FabricConfig,
+    proto: ProtocolConfig,
+    kind: CollectiveKind,
+    send_len: usize,
+    bounds: RunBounds,
 ) -> CollectiveOutcome {
     let p = topo.num_hosts() as u32;
     let plan = Arc::new(CollectivePlan::new(
@@ -149,8 +222,9 @@ pub fn run_collective(
     let mut fab: Fabric<ControlMsg> = Fabric::new(topo, fabric_cfg.clone());
 
     // Cutoff timer: ideal drain time of the receive buffer at the host
-    // link rate, plus slack (Section III-C).
-    let cutoff = cutoff_ns(fab.topology(), &plan, &proto, 1);
+    // link rate, scaled by the recovery headroom, plus slack
+    // (Section III-C).
+    let cutoff = cutoff_ns(fab.topology(), &plan, &proto, bounds.cutoff_headroom);
 
     let members: Vec<Rank> = (0..p).map(Rank).collect();
     let n_workers = fabric_cfg.host.rx_workers.max(1);
@@ -180,7 +254,7 @@ pub fn run_collective(
     // Deadline-bounded run: `run_until` peeks the next event time instead
     // of popping-and-rescheduling, so the bound never perturbs event
     // order. `all_done()` stays false if the watchdog trips.
-    let watchdog = SimTime::from_ns(cutoff.saturating_mul(WATCHDOG_CUTOFFS));
+    let watchdog = SimTime::from_ns(cutoff.saturating_mul(bounds.watchdog_cutoffs.max(1)));
     let stats = fab.run_until(watchdog);
     let traffic = fab.traffic();
     let rnr = fab.total_rnr_drops();
@@ -198,6 +272,8 @@ pub fn run_collective(
         traffic,
         rnr_drops: rnr,
         fabric_drops: drops,
+        cutoff_ns: cutoff,
+        deadline: watchdog,
     }
 }
 
@@ -355,6 +431,102 @@ mod tests {
         }
         // Lossless, deterministic: identical completion times.
         assert_eq!(outs[0].completion_ns(), outs[1].completion_ns());
+    }
+
+    #[test]
+    fn recovery_completes_under_a_flapping_downlink() {
+        use mcag_simnet::topology::LinkId;
+        use mcag_simnet::{LinkSchedule, LinkStateEvent};
+        // Switch->rank2 delivery link (star layout: 2*r + 1) down over
+        // the whole multicast phase: rank 2's datagrams are lost at the
+        // egress, the cutoff fires, and the unicast ring fetches the
+        // holes once the port recovers.
+        let window_end = 60_000u64;
+        let mut cfg = FabricConfig::ucc_default();
+        cfg.faults = LinkSchedule::new(vec![
+            LinkStateEvent::down(5_000, LinkId(5)),
+            LinkStateEvent::up(window_end, LinkId(5)),
+        ]);
+        let out = run_collective(
+            star(4),
+            cfg,
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            32 << 10,
+        );
+        assert!(out.stats.all_done(), "recovery failed: {:?}", out.stats);
+        assert!(!out.timed_out());
+        assert!(out.traffic.total_fault_drops() > 0, "no datagram was lost");
+        assert!(out.total_fetched() > 0, "holes were not fetched");
+        assert!(
+            out.completion_ns() > window_end,
+            "cannot complete before the port recovers"
+        );
+        assert_eq!(out.censored_completion_ns(), out.completion_ns());
+        assert!(out.traffic.link(LinkId(5)).downtime_ns == window_end - 5_000);
+    }
+
+    #[test]
+    fn unrecoverable_outage_times_out_cleanly() {
+        use mcag_simnet::topology::LinkId;
+        use mcag_simnet::{LinkSchedule, LinkStateEvent};
+        // Rank 3's delivery link never comes back: even the recovery
+        // ring cannot reach it, and the run must end as a clean timeout
+        // at the watchdog deadline — no panic, no event-cap grind.
+        let mut cfg = FabricConfig::ucc_default();
+        cfg.faults = LinkSchedule::new(vec![LinkStateEvent::down(0, LinkId(7))]);
+        let bounds = RunBounds {
+            cutoff_headroom: 1,
+            watchdog_cutoffs: 4,
+        };
+        let out = run_collective_bounded(
+            star(4),
+            cfg,
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            16 << 10,
+            bounds,
+        );
+        assert!(out.timed_out());
+        assert_eq!(out.censored_completion_ns(), out.deadline.as_ns());
+        assert_eq!(out.deadline.as_ns(), out.cutoff_ns * 4);
+        // Even reliable traffic toward the dead port is lost (the link
+        // never recovers), which is what wedges the whole collective:
+        // the dissemination barrier cannot reach rank 3.
+        assert!(out.traffic.total_fault_drops() > 0);
+        assert!(out.stats.per_rank_done.iter().flatten().count() == 0);
+    }
+
+    #[test]
+    fn cutoff_headroom_stretches_recovery() {
+        // A forced drop with growing cutoff headroom: the fetch fires
+        // later, so completion time grows monotonically — the fault
+        // sweep's "recovery cutoff" axis in miniature.
+        let run = |headroom: u64| {
+            let mut cfg = FabricConfig::ucc_default();
+            cfg.drops.forced.insert((0, 3, 2));
+            run_collective_bounded(
+                star(4),
+                cfg,
+                ProtocolConfig::default(),
+                CollectiveKind::Allgather,
+                32 << 10,
+                RunBounds {
+                    cutoff_headroom: headroom,
+                    watchdog_cutoffs: WATCHDOG_CUTOFFS,
+                },
+            )
+        };
+        let tight = run(1);
+        let loose = run(8);
+        assert!(tight.stats.all_done() && loose.stats.all_done());
+        assert!(loose.cutoff_ns > tight.cutoff_ns);
+        assert!(
+            loose.completion_ns() > tight.completion_ns(),
+            "headroom 8 should recover later: {} vs {}",
+            loose.completion_ns(),
+            tight.completion_ns()
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Fabric and host datapath configuration.
 
 use crate::event::QueueBackend;
+use crate::linkstate::LinkSchedule;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -111,6 +112,11 @@ pub struct FabricConfig {
     /// binary heap. Both produce identical results; the heap exists as a
     /// determinism oracle and perf baseline (`BENCH_simcore.json`).
     pub event_queue: QueueBackend,
+    /// Scheduled link-state transitions (down windows, flaps, bandwidth
+    /// degradation), replayed as ordinary queue events. Usually the
+    /// compiled form of a `mcag-faults` `FaultPlan`; empty means a
+    /// healthy fabric and adds no per-packet work.
+    pub faults: LinkSchedule,
 }
 
 impl FabricConfig {
@@ -125,6 +131,7 @@ impl FabricConfig {
             max_events: 2_000_000_000,
             mcast_table_capacity: None,
             event_queue: QueueBackend::default(),
+            faults: LinkSchedule::empty(),
         }
     }
 

@@ -27,6 +27,15 @@ pub struct LinkCounters {
     pub packets: u64,
     /// Packet copies corrupted on this link (fabric drops).
     pub drops: u64,
+    /// Packet copies lost because the link was down when they reached it
+    /// (fault-injection losses, distinct from corruption): every
+    /// unreliable copy, plus reliable copies on a link that never
+    /// recovers (reliable copies otherwise wait out the outage).
+    pub fault_drops: u64,
+    /// Simulated nanoseconds this link spent down.
+    pub downtime_ns: u64,
+    /// Simulated nanoseconds this link spent up but below full rate.
+    pub degraded_ns: u64,
 }
 
 impl LinkCounters {
@@ -37,6 +46,9 @@ impl LinkCounters {
         self.wire_bytes += other.wire_bytes;
         self.packets += other.packets;
         self.drops += other.drops;
+        self.fault_drops += other.fault_drops;
+        self.downtime_ns += other.downtime_ns;
+        self.degraded_ns += other.degraded_ns;
     }
 }
 
@@ -46,6 +58,10 @@ impl LinkCounters {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrafficReport {
     per_link: Vec<LinkCounters>,
+    /// Receiver-not-ready drops per rank (RNR happens at the NIC, not on
+    /// a link, so it gets its own axis). Empty when the producing fabric
+    /// predates the breakdown or the report was built from raw counters.
+    rnr_per_rank: Vec<u64>,
     events: u64,
     peak_queue_depth: usize,
     wall_ns: u64,
@@ -57,10 +73,17 @@ impl TrafficReport {
     pub fn new(per_link: Vec<LinkCounters>) -> TrafficReport {
         TrafficReport {
             per_link,
+            rnr_per_rank: Vec::new(),
             events: 0,
             peak_queue_depth: 0,
             wall_ns: 0,
         }
+    }
+
+    /// Attach the per-rank receiver-not-ready drop breakdown.
+    pub fn with_rnr(mut self, rnr_per_rank: Vec<u64>) -> TrafficReport {
+        self.rnr_per_rank = rnr_per_rank;
+        self
     }
 
     /// Attach simulation-engine stats: events processed, the peak pending
@@ -178,6 +201,33 @@ impl TrafficReport {
         self.per_link.iter().map(|c| c.drops).sum()
     }
 
+    /// Total down-link (fault-injection) losses across all links.
+    pub fn total_fault_drops(&self) -> u64 {
+        self.per_link.iter().map(|c| c.fault_drops).sum()
+    }
+
+    /// Total simulated nanoseconds of link downtime, summed over links.
+    pub fn total_downtime_ns(&self) -> u64 {
+        self.per_link.iter().map(|c| c.downtime_ns).sum()
+    }
+
+    /// Total simulated nanoseconds links spent degraded, summed over
+    /// links.
+    pub fn total_degraded_ns(&self) -> u64 {
+        self.per_link.iter().map(|c| c.degraded_ns).sum()
+    }
+
+    /// Receiver-not-ready drops per rank (empty if the producer did not
+    /// attach the breakdown; see [`TrafficReport::with_rnr`]).
+    pub fn rnr_per_rank(&self) -> &[u64] {
+        &self.rnr_per_rank
+    }
+
+    /// Total receiver-not-ready drops across ranks.
+    pub fn total_rnr_drops(&self) -> u64 {
+        self.rnr_per_rank.iter().sum()
+    }
+
     /// Maximum data bytes observed on any single link — used to verify the
     /// bandwidth-optimality invariant (each byte crosses each link once).
     pub fn max_link_data_bytes(&self) -> u64 {
@@ -204,6 +254,16 @@ impl TrafficReport {
         assert_eq!(self.per_link.len(), other.per_link.len());
         for (a, b) in self.per_link.iter_mut().zip(&other.per_link) {
             a.absorb(b);
+        }
+        // RNR breakdowns add elementwise; a report without one adopts the
+        // other side's (so iteration accumulators need no special setup).
+        if self.rnr_per_rank.is_empty() {
+            self.rnr_per_rank = other.rnr_per_rank.clone();
+        } else if !other.rnr_per_rank.is_empty() {
+            assert_eq!(self.rnr_per_rank.len(), other.rnr_per_rank.len());
+            for (a, b) in self.rnr_per_rank.iter_mut().zip(&other.rnr_per_rank) {
+                *a += b;
+            }
         }
         self.events += other.events;
         self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
@@ -245,5 +305,26 @@ mod tests {
         a.absorb(&b);
         assert_eq!(a.link(LinkId(0)).data_bytes, 10);
         assert_eq!(a.total().packets, 2);
+    }
+
+    #[test]
+    fn fault_breakdown_aggregates_and_absorbs() {
+        let topo = Topology::single_switch(2, LinkRate::CX3_56G, 100);
+        let mut one = vec![LinkCounters::default(); topo.num_links()];
+        one[0].fault_drops = 3;
+        one[0].downtime_ns = 1_000;
+        one[1].degraded_ns = 500;
+        let mut a = TrafficReport::new(one).with_rnr(vec![2, 0]);
+        assert_eq!(a.total_fault_drops(), 3);
+        assert_eq!(a.total_downtime_ns(), 1_000);
+        assert_eq!(a.total_degraded_ns(), 500);
+        assert_eq!(a.total_rnr_drops(), 2);
+        // An accumulator without an RNR breakdown adopts the other side's.
+        let mut acc = TrafficReport::new(vec![LinkCounters::default(); topo.num_links()]);
+        acc.absorb(&a);
+        a.absorb(&acc);
+        assert_eq!(a.total_fault_drops(), 6);
+        assert_eq!(a.total_rnr_drops(), 4);
+        assert_eq!(a.rnr_per_rank(), &[4, 0]);
     }
 }

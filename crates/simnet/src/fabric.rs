@@ -122,6 +122,38 @@ enum Ev {
         rank: Rank,
         token: u64,
     },
+    /// A scheduled link-state transition (`FabricConfig::faults`) takes
+    /// effect; `idx` indexes the compiled schedule.
+    LinkFault {
+        idx: u32,
+    },
+}
+
+/// Runtime state of one directed link under the fault schedule. Only
+/// allocated when the schedule is non-empty; every hot-path consult is
+/// gated on `Inner::has_faults`.
+#[derive(Debug, Clone, Copy)]
+struct LinkFaultState {
+    up: bool,
+    bw_num: u32,
+    bw_den: u32,
+    /// When the current state began (for downtime/degraded accounting).
+    since: SimTime,
+    /// While down: the schedule's next up transition for this link
+    /// (`u64::MAX` when it never recovers).
+    next_up_ns: u64,
+}
+
+impl LinkFaultState {
+    fn healthy() -> LinkFaultState {
+        LinkFaultState {
+            up: true,
+            bw_num: 1,
+            bw_den: 1,
+            since: SimTime::ZERO,
+            next_up_ns: 0,
+        }
+    }
 }
 
 struct QpState {
@@ -158,6 +190,11 @@ pub struct Inner<M> {
     trees: Vec<McastTree>,
     counters: Vec<LinkCounters>,
     link_busy: Vec<SimTime>,
+    /// Per-link fault state (empty when the schedule is empty).
+    link_fault: Vec<LinkFaultState>,
+    /// Fast gate for every fault-path consult: true iff
+    /// `cfg.faults` has at least one transition.
+    has_faults: bool,
     route_cache: HashMap<(u32, u32), Arc<[LinkId]>>,
     rng: StdRng,
     done: Vec<Option<SimTime>>,
@@ -244,7 +281,25 @@ impl<M: Clone + 'static> Fabric<M> {
         let counters = vec![LinkCounters::default(); topo.num_links()];
         let link_busy = vec![SimTime::ZERO; topo.num_links()];
         let rng = StdRng::seed_from_u64(cfg.seed);
-        let q = EventQueue::with_backend(cfg.event_queue);
+        let mut q = EventQueue::with_backend(cfg.event_queue);
+        // Replay the fault schedule as ordinary queue events. They are
+        // scheduled before any protocol event, so a transition and a
+        // same-instant transmission resolve in schedule-first order —
+        // part of the determinism contract.
+        let has_faults = !cfg.faults.is_empty();
+        let link_fault = if has_faults {
+            for (i, ev) in cfg.faults.events().iter().enumerate() {
+                assert!(
+                    ev.link.idx() < topo.num_links(),
+                    "fault schedule references {:?} outside the topology",
+                    ev.link
+                );
+                q.schedule_at(SimTime(ev.at_ns), Ev::LinkFault { idx: i as u32 });
+            }
+            vec![LinkFaultState::healthy(); topo.num_links()]
+        } else {
+            Vec::new()
+        };
         Fabric {
             inner: Inner {
                 topo,
@@ -254,6 +309,8 @@ impl<M: Clone + 'static> Fabric<M> {
                 trees: Vec::new(),
                 counters,
                 link_busy,
+                link_fault,
+                has_faults,
                 route_cache: HashMap::new(),
                 rng,
                 done: vec![None; n],
@@ -410,14 +467,18 @@ impl<M: Clone + 'static> Fabric<M> {
         self.inner.q.peek_time()
     }
 
-    /// Snapshot of all link counters, annotated with the engine stats of
-    /// the run so far (events processed, peak queue depth, wall clock).
+    /// Snapshot of all link counters (open downtime/degraded intervals
+    /// closed at the current simulated instant), with the per-rank RNR
+    /// breakdown and the engine stats of the run so far (events
+    /// processed, peak queue depth, wall clock).
     pub fn traffic(&self) -> TrafficReport {
-        TrafficReport::new(self.inner.counters.clone()).with_engine_stats(
-            self.inner.q.processed(),
-            self.inner.q.peak_len(),
-            self.inner.run_wall_ns,
-        )
+        TrafficReport::new(self.inner.counters_snapshot())
+            .with_rnr(self.inner.nics.iter().map(|n| n.rnr_drops).collect())
+            .with_engine_stats(
+                self.inner.q.processed(),
+                self.inner.q.peak_len(),
+                self.inner.run_wall_ns,
+            )
     }
 
     /// Total RNR drops across all NICs.
@@ -428,6 +489,11 @@ impl<M: Clone + 'static> Fabric<M> {
     /// Total fabric drops across all links.
     pub fn total_fabric_drops(&self) -> u64 {
         self.inner.counters.iter().map(|c| c.drops).sum()
+    }
+
+    /// Total packet copies lost to down links (fault injection).
+    pub fn total_fault_drops(&self) -> u64 {
+        self.inner.counters.iter().map(|c| c.fault_drops).sum()
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -453,6 +519,7 @@ impl<M: Clone + 'static> Fabric<M> {
             Ev::TxDrained { rank, token } => {
                 self.with_app(rank, |app, ctx| app.on_tx_drained(ctx, token));
             }
+            Ev::LinkFault { idx } => self.inner.apply_link_fault(idx),
         }
     }
 
@@ -504,6 +571,65 @@ impl<M: Clone + 'static> Inner<M> {
         } else {
             nic.drain_tokens[qi].push(token);
         }
+    }
+
+    // --------------------------- fault state --------------------------- //
+
+    /// Apply scheduled transition `idx`, closing the accounting interval
+    /// of the state the link leaves.
+    fn apply_link_fault(&mut self, idx: u32) {
+        let ev = self.cfg.faults.events()[idx as usize];
+        let next_up = self.cfg.faults.next_up_ns(idx as usize);
+        let now = self.q.now();
+        let li = ev.link.idx();
+        let st = self.link_fault[li];
+        let c = &mut self.counters[li];
+        if !st.up {
+            c.downtime_ns += now.as_ns().saturating_sub(st.since.as_ns());
+        } else if st.bw_num != st.bw_den {
+            c.degraded_ns += now.as_ns().saturating_sub(st.since.as_ns());
+        }
+        self.link_fault[li] = LinkFaultState {
+            up: ev.up,
+            bw_num: ev.bw_num,
+            bw_den: ev.bw_den,
+            since: now,
+            next_up_ns: if ev.up { now.as_ns() } else { next_up },
+        };
+    }
+
+    /// Per-link counters with any open downtime/degraded interval closed
+    /// at the current instant — the `traffic()` view stays correct even
+    /// when a run ends (or is sampled) mid-outage.
+    fn counters_snapshot(&self) -> Vec<LinkCounters> {
+        let mut c = self.counters.clone();
+        if self.has_faults {
+            let now = self.q.now().as_ns();
+            for (li, st) in self.link_fault.iter().enumerate() {
+                let open = now.saturating_sub(st.since.as_ns());
+                if !st.up {
+                    c[li].downtime_ns += open;
+                } else if st.bw_num != st.bw_den {
+                    c[li].degraded_ns += open;
+                }
+            }
+        }
+        c
+    }
+
+    /// Serialization time on `link` under its current effective
+    /// bandwidth: a degraded link stretches the wire time by
+    /// `bw_den / bw_num` (rounded up).
+    #[inline]
+    fn effective_ser_ns(&self, link: LinkId, ser: u64) -> u64 {
+        if !self.has_faults {
+            return ser;
+        }
+        let st = &self.link_fault[link.idx()];
+        if st.bw_num == st.bw_den {
+            return ser;
+        }
+        ((ser as u128 * st.bw_den as u128).div_ceil(st.bw_num as u128)) as u64
     }
 
     // --------------------------- packet slab --------------------------- //
@@ -805,6 +931,24 @@ impl<M: Clone + 'static> Inner<M> {
 
     fn handle_tx_kick(&mut self, rank: Rank) {
         let now = self.q.now();
+        if self.has_faults {
+            let uplink = self.nics[rank.idx()].uplink;
+            let st = self.link_fault[uplink.idx()];
+            if !st.up {
+                // Port down: the whole injection pipeline stalls
+                // (link-level backpressure) with packets parked in their
+                // send queues; resume when the schedule restores the
+                // port. `kick_scheduled` stays true so enqueue_tx does
+                // not double-arm; a port that never recovers wedges the
+                // NIC and the collective times out at its watchdog.
+                self.nics[rank.idx()].kick_scheduled = true;
+                if st.next_up_ns != u64::MAX {
+                    self.q
+                        .schedule_at(SimTime(st.next_up_ns).max(now), Ev::TxKick { rank });
+                }
+                return;
+            }
+        }
         let nic = &mut self.nics[rank.idx()];
         nic.kick_scheduled = false;
         let Some((qi, pr)) = Self::tx_pick(nic) else {
@@ -823,7 +967,7 @@ impl<M: Clone + 'static> Inner<M> {
             let h = &p.header;
             (h.wire_bytes(), h.kind, h.payload_len, p.reliable)
         };
-        let ser = link.rate.serialization_ns(wire);
+        let ser = self.effective_ser_ns(uplink, link.rate.serialization_ns(wire));
         let start = now.max(self.link_busy[uplink.idx()]);
         let tx_gap = ser.max(self.cfg.host.tx_post_overhead_ns);
         self.link_busy[uplink.idx()] = start + ser;
@@ -1016,8 +1160,25 @@ impl<M: Clone + 'static> Inner<M> {
             let h = &p.header;
             (h.wire_bytes(), h.kind, h.payload_len, p.reliable)
         };
-        let ser = link.rate.serialization_ns(wire);
-        let start = (now + self.cfg.switch_latency_ns).max(self.link_busy[out.idx()]);
+        // Down egress: unreliable copies are lost; reliable copies wait
+        // for the link's next recovery (link-level retransmission wins
+        // eventually) unless it never comes back.
+        let mut not_before = SimTime::ZERO;
+        if self.has_faults {
+            let st = self.link_fault[out.idx()];
+            if !st.up {
+                if reliable && st.next_up_ns != u64::MAX {
+                    not_before = SimTime(st.next_up_ns);
+                } else {
+                    self.counters[out.idx()].fault_drops += 1;
+                    return self.release_pkt(pr);
+                }
+            }
+        }
+        let ser = self.effective_ser_ns(out, link.rate.serialization_ns(wire));
+        let start = (now + self.cfg.switch_latency_ns)
+            .max(self.link_busy[out.idx()])
+            .max(not_before);
         self.link_busy[out.idx()] = start + ser;
         if self.count_and_maybe_drop(out, wire, kind, payload_len, reliable) {
             self.q.schedule_at(
@@ -1527,6 +1688,148 @@ mod tests {
         fab.set_app(Rank(1), Box::new(TimerApp { fired_at: None }));
         let stats = fab.run();
         assert_eq!(stats.per_rank_done[0], Some(SimTime(12_345)));
+    }
+
+    #[test]
+    fn per_link_and_per_rank_breakdowns_sum_to_totals() {
+        // Forced drops land on identifiable delivery links and RQ
+        // exhaustion produces RNR drops; the TrafficReport breakdowns
+        // must sum back to the fabric-level aggregates.
+        let mut cfg = FabricConfig::ideal();
+        cfg.drops.forced.insert((0, 1, 1));
+        cfg.drops.forced.insert((0, 2, 3));
+        cfg.host.rq_depth = 4;
+        cfg.host.rx_proc_ns_per_cqe = 100_000; // slow worker: RNR backlog
+        let (mut fab, _) = bcast_fabric(4, 64, cfg);
+        fab.run();
+        let report = fab.traffic();
+        assert!(fab.total_fabric_drops() > 0);
+        assert!(fab.total_rnr_drops() > 0);
+        let per_link_sum: u64 = report.per_link().iter().map(|c| c.drops).sum();
+        assert_eq!(per_link_sum, fab.total_fabric_drops());
+        assert_eq!(report.total_drops(), fab.total_fabric_drops());
+        assert_eq!(report.rnr_per_rank().len(), 4);
+        assert_eq!(report.total_rnr_drops(), fab.total_rnr_drops());
+        // Forced drops are charged to the two victims' delivery links.
+        assert!(report.link(LinkId(3)).drops >= 1);
+        assert!(report.link(LinkId(7)).drops >= 1);
+    }
+
+    #[test]
+    fn degraded_uplink_stretches_completion() {
+        use crate::linkstate::{LinkSchedule, LinkStateEvent};
+        let (mut healthy, _) = bcast_fabric(4, 32, FabricConfig::ideal());
+        let base = healthy.run().max_done().unwrap().as_ns();
+        // Root uplink at quarter rate for the whole run.
+        let mut cfg = FabricConfig::ideal();
+        cfg.faults = LinkSchedule::new(vec![LinkStateEvent::degraded(0, LinkId(0), 1, 4)]);
+        let (mut fab, _) = bcast_fabric(4, 32, cfg);
+        let stats = fab.run();
+        assert!(stats.all_done());
+        let slow = stats.max_done().unwrap().as_ns();
+        assert!(
+            slow > base * 3 && slow < base * 5,
+            "quarter-rate uplink: {slow} vs healthy {base}"
+        );
+        let report = fab.traffic();
+        assert!(report.link(LinkId(0)).degraded_ns > 0);
+        assert_eq!(
+            report.total_degraded_ns(),
+            report.link(LinkId(0)).degraded_ns
+        );
+        assert_eq!(fab.total_fault_drops(), 0);
+    }
+
+    #[test]
+    fn down_delivery_link_drops_datagrams() {
+        use crate::linkstate::{LinkSchedule, LinkStateEvent};
+        // Switch->rank3 downlink dead forever: rank 3's multicast copies
+        // are lost at the egress and counted as fault drops.
+        let mut cfg = FabricConfig::ideal();
+        cfg.faults = LinkSchedule::new(vec![LinkStateEvent::down(0, LinkId(7))]);
+        let (mut fab, _) = bcast_fabric(4, 8, cfg);
+        let stats = fab.run();
+        assert!(!stats.all_done());
+        let unfinished: Vec<usize> = stats
+            .per_rank_done
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unfinished, vec![3]);
+        let report = fab.traffic();
+        assert_eq!(report.link(LinkId(7)).fault_drops, 8);
+        assert_eq!(report.total_fault_drops(), fab.total_fault_drops());
+        // The open-ended outage accrues downtime up to the end of the run.
+        assert!(report.link(LinkId(7)).downtime_ns > 0);
+        assert_eq!(fab.inner.live_pkts(), 0, "dropped copies must not leak");
+    }
+
+    #[test]
+    fn nic_stalls_through_down_window_then_resumes() {
+        use crate::linkstate::{LinkSchedule, LinkStateEvent};
+        let window = 50_000u64;
+        let mut cfg = FabricConfig::ideal();
+        cfg.faults = LinkSchedule::new(vec![
+            LinkStateEvent::down(0, LinkId(0)),
+            LinkStateEvent::up(window, LinkId(0)),
+        ]);
+        let (mut fab, _) = bcast_fabric(4, 8, cfg);
+        let stats = fab.run();
+        assert!(stats.all_done(), "injection must resume after the window");
+        assert!(
+            stats.max_done().unwrap().as_ns() > window,
+            "completion cannot precede the port recovery"
+        );
+        let report = fab.traffic();
+        assert_eq!(report.link(LinkId(0)).downtime_ns, window);
+        assert_eq!(fab.total_fault_drops(), 0, "stalled, not dropped");
+    }
+
+    #[test]
+    fn reliable_traffic_waits_out_a_switch_egress_outage() {
+        use crate::linkstate::{LinkSchedule, LinkStateEvent};
+        // Ping-pong over RC through a switch whose egress toward rank 1
+        // is down for a window: the first ping is delayed to the
+        // recovery instant, never dropped.
+        let window = 30_000u64;
+        let topo = Topology::single_switch(2, LinkRate::CX7_200G, 50);
+        let mut cfg = FabricConfig::ideal();
+        cfg.faults = LinkSchedule::new(vec![
+            LinkStateEvent::down(0, LinkId(3)),
+            LinkStateEvent::up(window, LinkId(3)),
+        ]);
+        let mut fab: Fabric<Msg> = Fabric::new(topo, cfg);
+        for r in [Rank(0), Rank(1)] {
+            fab.add_qp(r, Transport::Rc, 0);
+            fab.set_app(
+                r,
+                Box::new(PingPong {
+                    peer: if r == Rank(0) { Rank(1) } else { Rank(0) },
+                    hops_left: 2,
+                    read_done: false,
+                }),
+            );
+        }
+        let stats = fab.run();
+        assert!(stats.all_done());
+        assert!(stats.max_done().unwrap().as_ns() > window);
+        assert_eq!(fab.total_fault_drops(), 0);
+    }
+
+    #[test]
+    fn fault_free_schedule_is_a_noop() {
+        use crate::linkstate::LinkSchedule;
+        let (mut base, _) = bcast_fabric(8, 32, FabricConfig::ucc_default());
+        let mut cfg = FabricConfig::ucc_default();
+        cfg.faults = LinkSchedule::new(Vec::new());
+        let (mut faulted, _) = bcast_fabric(8, 32, cfg);
+        let s1 = base.run();
+        let s2 = faulted.run();
+        assert_eq!(s1.per_rank_done, s2.per_rank_done);
+        assert_eq!(s1.events, s2.events);
+        assert_eq!(base.traffic().per_link(), faulted.traffic().per_link());
     }
 
     #[test]

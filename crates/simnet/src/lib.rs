@@ -16,8 +16,11 @@
 //!   switches replicate to every subscribed egress, so each byte crosses
 //!   each link at most once — the bandwidth-optimality invariant.
 //! * **Unreliability** — per-link probabilistic fabric drops, forced
-//!   per-(origin, PSN, destination) drops for failure-injection tests, and
-//!   receiver-not-ready drops when the receive queue is exhausted.
+//!   per-(origin, PSN, destination) drops for failure-injection tests,
+//!   receiver-not-ready drops when the receive queue is exhausted, and
+//!   scheduled time-varying link state ([`linkstate::LinkSchedule`]:
+//!   down windows, flaps, bandwidth degradation) compiled from
+//!   `mcag-faults` fault plans.
 //! * **Host datapath costs** — per-datagram TX posting and per-CQE RX
 //!   processing overheads with a configurable number of RX worker threads,
 //!   reproducing the CPU-bound single-thread behaviour of Fig. 5.
@@ -33,6 +36,7 @@ pub mod config;
 pub mod counters;
 pub mod event;
 pub mod fabric;
+pub mod linkstate;
 pub mod mcast;
 pub mod routing;
 pub mod time;
@@ -43,6 +47,7 @@ pub use config::{DropModel, FabricConfig, HostModel};
 pub use counters::{LinkCounters, TrafficReport};
 pub use event::{EventQueue, QueueBackend};
 pub use fabric::Fabric;
+pub use linkstate::{LinkSchedule, LinkStateEvent};
 pub use mcast::McastTree;
 pub use time::SimTime;
 pub use topology::{LinkId, NodeId, NodeKind, Topology};

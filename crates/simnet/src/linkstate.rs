@@ -1,0 +1,233 @@
+//! Scheduled link-state transitions — the enforcement half of fault
+//! injection.
+//!
+//! A [`LinkSchedule`] is a validated, time-sorted list of
+//! [`LinkStateEvent`]s: at a given simulated instant a directed link goes
+//! down, comes back up, or changes its *effective* bandwidth (a degraded
+//! link serializes packets slower, modeling FEC retraining / lane
+//! downgrade). The schedule is plain data — the higher-level fault
+//! *models* (degraded links, flapping ports, switch failures) live in the
+//! `mcag-faults` crate and compile down to this type; the fabric replays
+//! the schedule as ordinary queue events, so fault runs stay bit-for-bit
+//! deterministic.
+//!
+//! ## Enforcement semantics (what the fabric does with this)
+//!
+//! * **Down link, NIC uplink**: the NIC stalls its whole injection
+//!   pipeline (link-level backpressure) and resumes when the schedule
+//!   brings the port back up.
+//! * **Down link, switch egress**: unreliable copies (multicast/UD
+//!   datagrams) are lost and counted as `fault_drops`; reliable copies
+//!   (RC control, fetches, reads) are delayed until the link's next up
+//!   transition — link-level retransmission wins eventually. A reliable
+//!   copy on a link that never recovers is dropped and the collective
+//!   times out at its watchdog.
+//! * **Degraded link**: serialization time is scaled by the inverse of
+//!   the bandwidth multiplier (`bw_num / bw_den`, e.g. 1/4 for a
+//!   100G→25G downgrade).
+//!
+//! Link state is sampled when a packet copy reaches the port; a
+//! transition mid-serialization does not affect copies already committed
+//! to the wire.
+
+use crate::topology::LinkId;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled transition of one directed link's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStateEvent {
+    /// Simulated instant the new state takes effect.
+    pub at_ns: u64,
+    /// The directed link transitioning.
+    pub link: LinkId,
+    /// Whether the link carries traffic at all from `at_ns` on.
+    pub up: bool,
+    /// Effective-bandwidth multiplier numerator (with [`Self::bw_den`]):
+    /// `1/1` is full rate, `1/4` is a four-fold downgrade. Ignored while
+    /// the link is down.
+    pub bw_num: u32,
+    /// Effective-bandwidth multiplier denominator.
+    pub bw_den: u32,
+}
+
+impl LinkStateEvent {
+    /// A link going fully down at `at_ns`.
+    pub fn down(at_ns: u64, link: LinkId) -> LinkStateEvent {
+        LinkStateEvent {
+            at_ns,
+            link,
+            up: false,
+            bw_num: 1,
+            bw_den: 1,
+        }
+    }
+
+    /// A link restored to full rate at `at_ns`.
+    pub fn up(at_ns: u64, link: LinkId) -> LinkStateEvent {
+        LinkStateEvent {
+            at_ns,
+            link,
+            up: true,
+            bw_num: 1,
+            bw_den: 1,
+        }
+    }
+
+    /// A link up but serializing at `bw_num / bw_den` of its line rate
+    /// from `at_ns` on.
+    pub fn degraded(at_ns: u64, link: LinkId, bw_num: u32, bw_den: u32) -> LinkStateEvent {
+        LinkStateEvent {
+            at_ns,
+            link,
+            up: true,
+            bw_num,
+            bw_den,
+        }
+    }
+
+    /// True when this event leaves the link below full rate.
+    pub fn is_degraded(&self) -> bool {
+        self.up && self.bw_num != self.bw_den
+    }
+}
+
+/// A validated, time-sorted schedule of link-state transitions, consumed
+/// by `Fabric::new` (via `FabricConfig::faults`) as ordinary queue
+/// events. The compiled form of a `mcag-faults` `FaultPlan`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkSchedule {
+    events: Vec<LinkStateEvent>,
+    /// For event `i`: the earliest `at_ns >= events[i].at_ns` at which
+    /// `events[i].link` is up again (`u64::MAX` if it never recovers).
+    /// Precomputed so the fabric can park a stalled reliable packet with
+    /// one lookup.
+    next_up: Vec<u64>,
+}
+
+impl LinkSchedule {
+    /// A schedule with no transitions (the healthy-fabric default).
+    pub fn empty() -> LinkSchedule {
+        LinkSchedule::default()
+    }
+
+    /// Build a schedule from transitions in any order. Events are stably
+    /// sorted by `(at_ns, link)`; two transitions of the same link at the
+    /// same instant apply in their given order (the later one wins), so a
+    /// composed plan is deterministic. Panics on a zero bandwidth
+    /// multiplier or one above full rate.
+    pub fn new(mut events: Vec<LinkStateEvent>) -> LinkSchedule {
+        for e in &events {
+            assert!(
+                e.bw_num >= 1 && e.bw_den >= 1,
+                "zero bandwidth multiplier on {:?}",
+                e.link
+            );
+            assert!(
+                e.bw_num <= e.bw_den,
+                "bandwidth multiplier above full rate on {:?} ({}/{})",
+                e.link,
+                e.bw_num,
+                e.bw_den
+            );
+        }
+        events.sort_by_key(|e| (e.at_ns, e.link.0));
+        // Reverse scan: carry the latest known up-time per link backwards
+        // so every event knows when its link next carries traffic.
+        let mut next_up = vec![u64::MAX; events.len()];
+        let mut latest_up: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for i in (0..events.len()).rev() {
+            let e = events[i];
+            if e.up {
+                latest_up.insert(e.link.0, e.at_ns);
+                next_up[i] = e.at_ns;
+            } else {
+                next_up[i] = latest_up.get(&e.link.0).copied().unwrap_or(u64::MAX);
+            }
+        }
+        LinkSchedule { events, next_up }
+    }
+
+    /// The sorted transitions.
+    pub fn events(&self) -> &[LinkStateEvent] {
+        &self.events
+    }
+
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the schedule has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// When `events()[idx]`'s link is next up at or after that event
+    /// (`u64::MAX` when it never recovers).
+    pub fn next_up_ns(&self, idx: usize) -> u64 {
+        self.next_up[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sorted_and_next_up_is_computed() {
+        let l = LinkId(3);
+        let m = LinkId(7);
+        let s = LinkSchedule::new(vec![
+            LinkStateEvent::up(500, l),
+            LinkStateEvent::down(100, l),
+            LinkStateEvent::down(200, m),
+            LinkStateEvent::degraded(900, l, 1, 4),
+        ]);
+        let at: Vec<u64> = s.events().iter().map(|e| e.at_ns).collect();
+        assert_eq!(at, vec![100, 200, 500, 900]);
+        // Down at 100 recovers at 500; m never recovers.
+        assert_eq!(s.next_up_ns(0), 500);
+        assert_eq!(s.next_up_ns(1), u64::MAX);
+        assert_eq!(s.next_up_ns(2), 500);
+        // A degraded link still carries traffic: it is "up" now.
+        assert_eq!(s.next_up_ns(3), 900);
+        assert!(s.events()[3].is_degraded());
+    }
+
+    #[test]
+    fn flap_sequence_next_up_points_at_each_recovery() {
+        let l = LinkId(0);
+        let s = LinkSchedule::new(vec![
+            LinkStateEvent::down(10, l),
+            LinkStateEvent::up(20, l),
+            LinkStateEvent::down(30, l),
+            LinkStateEvent::up(40, l),
+        ]);
+        assert_eq!(s.next_up_ns(0), 20);
+        assert_eq!(s.next_up_ns(2), 40);
+    }
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        assert!(LinkSchedule::empty().is_empty());
+        assert_eq!(LinkSchedule::empty().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "above full rate")]
+    fn overspeed_multiplier_rejected() {
+        LinkSchedule::new(vec![LinkStateEvent::degraded(0, LinkId(0), 2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bandwidth")]
+    fn zero_multiplier_rejected() {
+        LinkSchedule::new(vec![LinkStateEvent {
+            at_ns: 0,
+            link: LinkId(0),
+            up: true,
+            bw_num: 0,
+            bw_den: 1,
+        }]);
+    }
+}

@@ -9,9 +9,14 @@
 //! * [`runtime`] — the multi-tenant collective runtime: multicast-group
 //!   pooling, admission control, and fair job scheduling.
 //! * [`exec`] — the deterministic fork-join executor parallelizing
-//!   simulation sweeps and runtime batch waves (slot-ordered `par_map`).
+//!   simulation sweeps and runtime batch waves (slot-ordered `par_map`,
+//!   largest-first `par_map_ordered`).
+//! * [`faults`] — seeded fault-injection plans (degraded links,
+//!   flapping ports, switch failures) compiled to link-state schedules
+//!   the fabric enforces.
 //! * [`simnet`] — the discrete-event RDMA fabric (fat-trees, multicast
-//!   trees, in-network reduction, drop injection, port counters).
+//!   trees, in-network reduction, drop injection, time-varying link
+//!   state, port counters).
 //! * [`memfabric`] — the threaded real-byte fabric for end-to-end
 //!   validation.
 //! * [`baselines`] — point-to-point collective schedules.
@@ -42,6 +47,7 @@ pub use mcag_baselines as baselines;
 pub use mcag_core as core;
 pub use mcag_dpa as dpa;
 pub use mcag_exec as exec;
+pub use mcag_faults as faults;
 pub use mcag_memfabric as memfabric;
 pub use mcag_models as models;
 pub use mcag_runtime as runtime;

@@ -69,6 +69,24 @@ fn exec_reachable_and_maps() {
     let doubled = mcast_allgather::exec::par_map(2, &[1u32, 2, 3], |&x| x * 2);
     assert_eq!(doubled, vec![2, 4, 6]);
     assert!(mcast_allgather::exec::default_jobs() >= 1);
+    let timed =
+        mcast_allgather::exec::par_map_ordered(2, &[1u32, 2, 3], |_, &x| x as u64, |&x| x * 2);
+    assert_eq!(timed.iter().map(|t| t.value).collect::<Vec<_>>(), doubled);
+}
+
+#[test]
+fn faults_reachable_and_compiles_plans() {
+    use mcast_allgather::faults::{FaultModel, FaultPlan};
+    let topo = mcast_allgather::simnet::Topology::single_switch(4, LinkRate::CX3_56G, 100);
+    let sched = FaultPlan::new(9)
+        .with(FaultModel::SwitchFailure {
+            switches: 1,
+            start_ns: 1_000,
+            downtime_ns: 5_000,
+        })
+        .compile(&topo);
+    // The star's one switch touches every link, both directions.
+    assert_eq!(sched.len(), 2 * topo.num_links());
 }
 
 #[test]

@@ -74,6 +74,26 @@ fn appb_shape() {
 }
 
 #[test]
+fn faultfigs_smoke_shape() {
+    let f = generate("faultfigs_smoke");
+    check(&f);
+    // One row per (model, rate, cutoff) cell; all three models present.
+    assert_eq!(f.rows.len(), 6);
+    for model in ["degraded", "flapping", "switch"] {
+        assert!(f.rows.iter().any(|r| r[0] == model), "{model} missing");
+    }
+    // Quantiles are ordered within every cell.
+    for r in &f.rows {
+        let p50: f64 = r[3].parse().unwrap();
+        let p99: f64 = r[4].parse().unwrap();
+        let p999: f64 = r[5].parse().unwrap();
+        assert!(p50 <= p99 && p99 <= p999, "tail out of order: {r:?}");
+    }
+    // Per-seed wall times ride along for timings.csv.
+    assert!(!f.job_wall_ms.is_empty());
+}
+
+#[test]
 #[ignore = "full 188-node sweep (~20 s in release); run with --ignored"]
 fn fig10_shape() {
     check(&generate("fig10"));
