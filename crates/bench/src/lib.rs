@@ -27,10 +27,14 @@
 //! scenarios) and write the `BENCH_simcore.json` perf baseline,
 //! `parallel_scaling` / `parallel_scaling_smoke` measure the fork-join
 //! sweep executor (jobs = 1/2/4 over the same simulation sweep) and
-//! write `BENCH_parallel.json`, and `faultfigs` / `faultfigs_smoke`
+//! write `BENCH_parallel.json`, `faultfigs` / `faultfigs_smoke`
 //! sweep fault model × failure rate × recovery cutoff across hundreds
 //! of seeds and write the p50/p99/p999 completion-time tails to
-//! `BENCH_faults.json`.
+//! `BENCH_faults.json`, and `loadfigs` / `loadfigs_smoke` drive the
+//! open-loop multi-tenant runtime with seeded Poisson/bursty arrival
+//! streams (rate × tenants × pool capacity, to the saturation knee and
+//! past it) and write the sojourn/utilization baseline to
+//! `BENCH_load.json`.
 //!
 //! Every sweep-shaped generator takes a `jobs` worker count and fans its
 //! independent simulations out through [`mcag_exec::par_map`]; outputs
@@ -44,6 +48,7 @@ pub mod ablations;
 pub mod data;
 pub mod dpafigs;
 pub mod faultfigs;
+pub mod loadfigs;
 pub mod modelfigs;
 pub mod netfigs;
 pub mod parallel;
@@ -72,9 +77,10 @@ pub const ABLATIONS: &[&str] = &[
 /// Simulator-performance and scenario-sweep generators: the DES engine
 /// itself (timer wheel vs reference heap, `BENCH_simcore.json`), the
 /// fork-join sweep executor (`BENCH_parallel.json`), and the seeded
-/// failure sweeps with tail-latency reporting (`BENCH_faults.json`).
-/// The unsuffixed ids are the recorded baselines; `*_smoke` are the
-/// bounded CI variants.
+/// failure sweeps with tail-latency reporting (`BENCH_faults.json`),
+/// and the open-loop latency-vs-offered-load study of the multi-tenant
+/// runtime (`BENCH_load.json`). The unsuffixed ids are the recorded
+/// baselines; `*_smoke` are the bounded CI variants.
 pub const PERF: &[&str] = &[
     "simcore",
     "simcore_smoke",
@@ -82,6 +88,8 @@ pub const PERF: &[&str] = &[
     "parallel_scaling_smoke",
     "faultfigs",
     "faultfigs_smoke",
+    "loadfigs",
+    "loadfigs_smoke",
 ];
 
 /// Run one generator by id, serially (`jobs = 1`).
@@ -115,6 +123,8 @@ pub fn generate_with(id: &str, jobs: usize) -> FigData {
         "runtime_multitenant" => runtimefigs::runtime_multitenant(jobs),
         "faultfigs" => faultfigs::faultfigs(),
         "faultfigs_smoke" => faultfigs::faultfigs_smoke(),
+        "loadfigs" => loadfigs::loadfigs(),
+        "loadfigs_smoke" => loadfigs::loadfigs_smoke(),
         "simcore" => simcore::simcore(),
         "simcore_smoke" => simcore::simcore_smoke(),
         "parallel_scaling" => parallel::parallel_scaling(),

@@ -2,7 +2,7 @@
 
 use mcag_verbs::Rank;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 /// A logical tenant (training job, user, framework instance) submitting
@@ -90,6 +90,14 @@ pub enum RejectReason {
     /// The job needs more multicast groups than the pool holds, so it
     /// could never be scheduled.
     GroupDemand,
+    /// Load shedding: the runtime's recent-sojourn estimate exceeded
+    /// [`AdmissionPolicy::throttle_sojourn_ns`], so new arrivals are
+    /// refused until the backlog drains. Distinct from [`QueueFull`]
+    /// (hard queue capacity) so a throttling study can attribute
+    /// refusals to the throttle rather than the queue bound.
+    ///
+    /// [`QueueFull`]: RejectReason::QueueFull
+    Throttled,
 }
 
 impl fmt::Display for RejectReason {
@@ -102,6 +110,7 @@ impl fmt::Display for RejectReason {
             RejectReason::Empty => "empty message",
             RejectReason::InvalidRoot => "broadcast root out of range",
             RejectReason::GroupDemand => "job needs more groups than the pool holds",
+            RejectReason::Throttled => "admission throttled: recent sojourn over threshold",
         };
         f.write_str(s)
     }
@@ -116,6 +125,14 @@ pub struct AdmissionPolicy {
     pub max_queued_per_tenant: usize,
     /// Max `send_len` in bytes.
     pub max_send_len: usize,
+    /// Load-shedding threshold: while the runtime's exponentially
+    /// weighted moving average of completed-job sojourn time (queue +
+    /// service, ns) exceeds this, new submissions are refused with
+    /// [`RejectReason::Throttled`]. `None` disables throttling (the
+    /// default) — under open-loop overload the queue then grows to the
+    /// hard [`max_queued_total`](AdmissionPolicy::max_queued_total)
+    /// bound and sojourn times grow with it.
+    pub throttle_sojourn_ns: Option<u64>,
 }
 
 impl Default for AdmissionPolicy {
@@ -124,6 +141,7 @@ impl Default for AdmissionPolicy {
             max_queued_total: 1024,
             max_queued_per_tenant: 64,
             max_send_len: 64 << 20,
+            throttle_sojourn_ns: None,
         }
     }
 }
@@ -141,15 +159,44 @@ pub struct PendingJob {
     pub group_demand: u32,
 }
 
-/// Per-tenant FIFO queues drained fairly by the scheduler.
+/// One tenant's lane in the indexed queue: a FIFO of pending jobs plus
+/// the in-flight flag the open-loop scheduler uses to keep a tenant's
+/// collectives ordered (a communicator's operations are ordered, so a
+/// tenant with a job in a running batch must not enter another batch).
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    fifo: VecDeque<PendingJob>,
+    busy: bool,
+}
+
+impl Lane {
+    #[inline]
+    fn ready(&self) -> bool {
+        !self.busy && !self.fifo.is_empty()
+    }
+}
+
+/// Per-tenant FIFO queues drained fairly by the scheduler, indexed for
+/// scale.
 ///
 /// A tenant's jobs execute in submission order (a communicator's
 /// collectives are ordered), so a batch takes **at most one job per
 /// tenant**; the round-robin cursor rotates the starting tenant so no
 /// tenant is structurally favoured.
+///
+/// Lanes live in a dense slab indexed by [`TenantId`], and a sorted
+/// **ready index** tracks exactly the tenants that are schedulable
+/// (non-empty lane, not marked busy by an in-flight batch). Wave
+/// formation therefore walks `O(ready tenants)` — independent of how
+/// many tenants are registered — which is what lets the open-loop
+/// sweeps scale to thousands of mostly-idle tenants. [`queued_for`]
+/// (`JobQueue::queued_for`) is an `O(1)` lane-length lookup, never a
+/// queue scan.
 #[derive(Debug, Clone, Default)]
 pub struct JobQueue {
-    per_tenant: Vec<VecDeque<PendingJob>>,
+    lanes: Vec<Lane>,
+    /// Tenants with a schedulable head-of-line job, in index order.
+    ready: BTreeSet<u32>,
     len: usize,
     cursor: usize,
 }
@@ -162,7 +209,7 @@ impl JobQueue {
 
     /// Add a tenant lane (called on registration).
     pub fn add_tenant(&mut self) {
-        self.per_tenant.push(VecDeque::new());
+        self.lanes.push(Lane::default());
     }
 
     /// Pending jobs across all tenants.
@@ -175,44 +222,87 @@ impl JobQueue {
         self.len == 0
     }
 
-    /// Pending jobs for one tenant.
+    /// Pending jobs for one tenant (`O(1)`: the lane's length, not a
+    /// scan of the queue).
     pub fn queued_for(&self, tenant: TenantId) -> usize {
-        self.per_tenant.get(tenant.idx()).map_or(0, VecDeque::len)
+        self.lanes.get(tenant.idx()).map_or(0, |l| l.fifo.len())
+    }
+
+    /// Tenants currently schedulable (non-empty lane, not busy).
+    pub fn ready_tenants(&self) -> usize {
+        self.ready.len()
     }
 
     /// Enqueue an admitted job.
     pub fn push(&mut self, job: PendingJob) {
-        self.per_tenant[job.spec.tenant.idx()].push_back(job);
+        let t = job.spec.tenant.idx();
+        self.lanes[t].fifo.push_back(job);
+        if self.lanes[t].ready() {
+            self.ready.insert(t as u32);
+        }
         self.len += 1;
     }
 
+    /// Mark a tenant's lane busy: it has a job in an in-flight batch, so
+    /// its head-of-line job leaves the ready index until
+    /// [`mark_idle`](JobQueue::mark_idle).
+    pub fn mark_busy(&mut self, tenant: TenantId) {
+        let t = tenant.idx();
+        self.lanes[t].busy = true;
+        self.ready.remove(&(t as u32));
+    }
+
+    /// Clear a tenant's busy flag (its batch committed); the lane
+    /// re-enters the ready index if jobs are pending.
+    pub fn mark_idle(&mut self, tenant: TenantId) {
+        let t = tenant.idx();
+        self.lanes[t].busy = false;
+        if self.lanes[t].ready() {
+            self.ready.insert(t as u32);
+        }
+    }
+
     /// Pick the next fair batch: starting from the rotating cursor, take
-    /// the head-of-line job of each tenant whose group demand still fits
-    /// in `group_budget`, stopping at `max_jobs` jobs. One pass over the
-    /// tenants, at most one job each.
+    /// the head-of-line job of each *ready* tenant whose group demand
+    /// still fits in `group_budget`, stopping at `max_jobs` jobs. At
+    /// most one job per tenant, and only the ready index is walked —
+    /// `O(picked + skipped-for-budget)`, not `O(registered tenants)` —
+    /// while visiting tenants in exactly the cursor-rotated ascending
+    /// order the original full-scan scheduler used (the equivalence the
+    /// closed-loop proptest pins).
     pub fn pick_batch(&mut self, max_jobs: usize, group_budget: usize) -> Vec<PendingJob> {
-        let n = self.per_tenant.len();
+        let n = self.lanes.len();
         let mut picked = Vec::new();
         let mut budget = group_budget;
-        if n == 0 {
+        if n == 0 || self.ready.is_empty() {
             return picked;
         }
-        let start = self.cursor;
-        for off in 0..n {
+        // Cursor-rotated ascending walk of the ready index: tenants at or
+        // after the cursor first, then wrap. Materialized up front because
+        // picking mutates the index.
+        let start = self.cursor as u32;
+        let order: Vec<u32> = self
+            .ready
+            .range(start..)
+            .chain(self.ready.range(..start))
+            .copied()
+            .collect();
+        for t in order {
             if picked.len() >= max_jobs {
                 break;
             }
-            let t = (start + off) % n;
-            let Some(head) = self.per_tenant[t].front() else {
-                continue;
-            };
+            let lane = &mut self.lanes[t as usize];
+            let head = lane.fifo.front().expect("ready lane has a head");
             if head.group_demand as usize > budget {
                 continue; // doesn't fit this batch; its turn comes first next time
             }
             budget -= head.group_demand as usize;
-            let job = self.per_tenant[t].pop_front().expect("front checked");
+            let job = lane.fifo.pop_front().expect("front checked");
+            if !lane.ready() {
+                self.ready.remove(&t);
+            }
             self.len -= 1;
-            self.cursor = (t + 1) % n;
+            self.cursor = (t as usize + 1) % n;
             picked.push(job);
         }
         picked

@@ -15,7 +15,12 @@
 //!   (queue depth, per-tenant quota, message size, group demand) and
 //!   fair round-robin batching, at most one job per tenant per batch;
 //! * [`RuntimeReport`] — per-job lifecycle records, per-tenant latency
-//!   and queueing aggregates, pool hit rates, and sustained Tbit/s.
+//!   and queueing aggregates, offered-load and reject attribution,
+//!   per-partition occupancy, pool hit rates, and sustained Tbit/s;
+//! * [`arrivals`] — seeded open-loop workload generators (Poisson,
+//!   modulated-rate ramps, trace replay) feeding [`Runtime::submit_at`]
+//!   on the virtual clock, so latency-vs-offered-load curves can be
+//!   measured instead of replayed.
 //!
 //! Batches run over the real `mcag-core` protocol state machines on one
 //! shared `mcag-simnet` fabric per batch, so tenants contend for NIC
@@ -40,13 +45,18 @@
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod job;
 mod mux;
 pub mod pool;
 pub mod sched;
 pub mod stats;
 
+pub use arrivals::{
+    merge_arrivals, nccl_style_trace, trace_from_rows, Arrival, OpMix, RatePhase, RateProcess,
+    Workload,
+};
 pub use job::{AdmissionPolicy, JobId, JobKind, JobQueue, JobSpec, RejectReason, TenantId};
 pub use pool::{AcquireOutcome, GroupKey, McastGroupPool, PoolConfig, PoolStats};
 pub use sched::{BatchReport, Runtime, RuntimeConfig};
-pub use stats::{JobRecord, RuntimeReport, TenantStats};
+pub use stats::{JobRecord, PartitionStats, RejectCounts, RuntimeReport, TenantStats};

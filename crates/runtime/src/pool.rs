@@ -116,6 +116,7 @@ pub struct McastGroupPool {
     cfg: PoolConfig,
     resident: HashMap<GroupKey, Slot>,
     tick: u64,
+    pinned: usize,
     stats: PoolStats,
 }
 
@@ -128,6 +129,7 @@ impl McastGroupPool {
             cfg,
             resident: HashMap::new(),
             tick: 0,
+            pinned: 0,
             stats: PoolStats::default(),
         }
     }
@@ -135,6 +137,21 @@ impl McastGroupPool {
     /// Table capacity.
     pub fn capacity(&self) -> usize {
         self.cfg.capacity
+    }
+
+    /// Groups currently pinned by in-flight batches.
+    pub fn pinned_groups(&self) -> usize {
+        self.pinned
+    }
+
+    /// Free pinning headroom: how many *more* distinct groups a new batch
+    /// may pin without overcommitting the table. Resident-but-unpinned
+    /// groups do not count against this — they can be evicted — but every
+    /// group a batch acquires (hit or not) is pinned for the batch's
+    /// lifetime, so the scheduler budgets batch group demand against this
+    /// value when batches overlap on the virtual clock.
+    pub fn headroom(&self) -> usize {
+        self.cfg.capacity - self.pinned
     }
 
     /// Groups currently programmed.
@@ -162,7 +179,10 @@ impl McastGroupPool {
         self.tick += 1;
         if let Some(slot) = self.resident.get_mut(&key) {
             slot.last_use = self.tick;
-            slot.pinned = true;
+            if !slot.pinned {
+                slot.pinned = true;
+                self.pinned += 1;
+            }
             self.stats.hits += 1;
             return (AcquireOutcome::Hit, 0);
         }
@@ -192,6 +212,7 @@ impl McastGroupPool {
                 pinned: true,
             },
         );
+        self.pinned += 1;
         outcome
     }
 
@@ -200,6 +221,24 @@ impl McastGroupPool {
     pub fn unpin_all(&mut self) {
         for slot in self.resident.values_mut() {
             slot.pinned = false;
+        }
+        self.pinned = 0;
+    }
+
+    /// Unpin exactly the given keys (one overlapping batch finished);
+    /// other in-flight batches' groups stay pinned. Keys evict-raced
+    /// away cannot exist here: pinned entries are never eviction victims,
+    /// so every key a batch acquired is still resident when it unpins.
+    pub fn unpin(&mut self, keys: &[GroupKey]) {
+        for key in keys {
+            let slot = self
+                .resident
+                .get_mut(key)
+                .expect("unpin of a non-resident group (pinned entries cannot be evicted)");
+            if slot.pinned {
+                slot.pinned = false;
+                self.pinned -= 1;
+            }
         }
     }
 }
@@ -262,6 +301,30 @@ mod tests {
         let mut pool = McastGroupPool::new(PoolConfig::with_capacity(1));
         pool.acquire(key(0, 0));
         pool.acquire(key(1, 0)); // both pinned, table of one
+    }
+
+    #[test]
+    fn per_key_unpin_tracks_headroom() {
+        let mut pool = McastGroupPool::new(PoolConfig::with_capacity(3));
+        pool.acquire(key(0, 0));
+        pool.acquire(key(0, 1));
+        pool.acquire(key(1, 0));
+        assert_eq!(pool.pinned_groups(), 3);
+        assert_eq!(pool.headroom(), 0);
+        // Batch of tenant 0 finishes; tenant 1's group stays pinned.
+        pool.unpin(&[key(0, 0), key(0, 1)]);
+        assert_eq!(pool.pinned_groups(), 1);
+        assert_eq!(pool.headroom(), 2);
+        // A new acquire may evict tenant 0's unpinned groups but never
+        // tenant 1's pinned one.
+        pool.acquire(key(2, 0));
+        assert_eq!(pool.pinned_groups(), 2);
+        assert!(pool.is_resident(key(1, 0)));
+        // Re-acquiring an already-pinned group must not double-count.
+        pool.acquire(key(1, 0));
+        assert_eq!(pool.pinned_groups(), 2);
+        pool.unpin_all();
+        assert_eq!(pool.headroom(), 3);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! **Formation** — the order-sensitive, cheap phase of a batch's
+//! lifecycle: pick the fair batch, acquire and pin its multicast groups
+//! (charging subnet-manager programming time), and package the
+//! simulation as a self-contained `Send` value.
+//!
+//! Formation mutates only admission state — the indexed job queue and
+//! the group pool — never anything a simulation produces, which is what
+//! makes forming several batches ahead of their simulations legal (the
+//! closed-loop wave path) and what lets the open-loop engine hold
+//! multiple formed batches in flight on disjoint fabric partitions.
+
+use super::sim::BatchSim;
+use super::Runtime;
+use crate::job::{JobKind, PendingJob};
+use crate::pool::{AcquireOutcome, GroupKey};
+use mcag_core::{CollectiveKind, CollectivePlan};
+use mcag_verbs::CollectiveId;
+use std::sync::Arc;
+
+/// Group-key index reserved for a tenant's in-network-reduction tree
+/// (subgroup trees use `0..S`).
+pub(super) const RS_GROUP_INDEX: u32 = u32::MAX;
+
+/// How formation treats the shared admission state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum FormMode {
+    /// Closed-loop waves: batches run one at a time on partition 0, so
+    /// the whole pool capacity is the group budget, pins are released as
+    /// soon as the batch's residency is decided (the serial
+    /// acquire → run → unpin interleave), and tenants are not marked
+    /// busy — the next batch is formed knowing this one will have
+    /// committed first.
+    Sequential,
+    /// Open-loop pipelining: the batch overlaps others on the virtual
+    /// clock, so its group budget is the pool's *pinning headroom*, its
+    /// groups stay pinned until commit, and its tenants are marked busy
+    /// so no later batch picks their next job out of order.
+    Pipelined {
+        /// Fabric partition (SM domain) the batch will occupy.
+        partition: u32,
+    },
+}
+
+/// A batch that passed formation (jobs picked, groups pinned and paid
+/// for) and awaits simulation + merge.
+pub(super) struct FormedBatch {
+    pub(super) index: u64,
+    pub(super) picked: Vec<PendingJob>,
+    /// `(hits, builds, rebuilds)` per picked job, recorded at acquire.
+    pub(super) per_job_groups: Vec<(u32, u32, u32)>,
+    /// Subnet-manager group programming time charged before launch.
+    pub(super) setup_ns: u64,
+    /// Virtual time the batch was formed (= its dispatch start in the
+    /// open-loop engine; the closed-loop paths compute start at merge).
+    pub(super) started_ns: u64,
+    /// Fabric partition the batch occupies (0 for closed-loop waves).
+    pub(super) partition: u32,
+    pub(super) sim: BatchSim,
+}
+
+impl Runtime {
+    /// Every multicast-group key a job pins while running.
+    pub(super) fn group_keys(&self, job: &PendingJob) -> Vec<GroupKey> {
+        let tenant = job.spec.tenant.0;
+        let subs = self.group_demand(JobKind::Allgather, job.spec.send_len);
+        let mut keys: Vec<GroupKey> = (0..subs).map(|index| GroupKey { tenant, index }).collect();
+        if matches!(job.spec.kind, JobKind::AgRs) {
+            keys.push(GroupKey {
+                tenant,
+                index: RS_GROUP_INDEX,
+            });
+        }
+        keys
+    }
+
+    /// Form the next batch under `mode`, or `None` if nothing
+    /// schedulable fits the mode's group budget.
+    pub(super) fn form_batch(&mut self, mode: FormMode) -> Option<FormedBatch> {
+        let budget = match mode {
+            FormMode::Sequential => self.pool.capacity(),
+            FormMode::Pipelined { .. } => self.pool.headroom(),
+        };
+        let picked = self.queue.pick_batch(self.cfg.max_inflight, budget);
+        if picked.is_empty() {
+            return None;
+        }
+        let index = self.formed;
+        self.formed += 1;
+        let proto = self.cfg.proto;
+        let p = self.topo.num_hosts() as u32;
+
+        // Program the batch's groups (pinned from here on), charging
+        // subnet-manager time on the virtual clock.
+        let mut setup_ns = 0u64;
+        let mut per_job_groups: Vec<(u32, u32, u32)> = Vec::with_capacity(picked.len());
+        for job in &picked {
+            let (mut hits, mut builds, mut rebuilds) = (0u32, 0u32, 0u32);
+            for key in self.group_keys(job) {
+                let (outcome, cost) = self.pool.acquire(key);
+                setup_ns += cost;
+                match outcome {
+                    AcquireOutcome::Hit => hits += 1,
+                    AcquireOutcome::Built => builds += 1,
+                    AcquireOutcome::Rebuilt => rebuilds += 1,
+                }
+            }
+            per_job_groups.push((hits, builds, rebuilds));
+        }
+        let partition = match mode {
+            FormMode::Sequential => {
+                // The batch's residency is decided; release the pins so
+                // the next formed batch sees the same LRU order the
+                // serial interleave (acquire → run → unpin → acquire …)
+                // would have produced.
+                self.pool.unpin_all();
+                0
+            }
+            FormMode::Pipelined { partition } => {
+                // Pins are held until commit; a tenant with a job in
+                // flight must not enter another batch (a communicator's
+                // collectives are ordered).
+                for job in &picked {
+                    self.queue.mark_busy(job.spec.tenant);
+                }
+                partition
+            }
+        };
+
+        // Collective ids 2i+1 (AG/Bcast) and 2i+2 (RS) keep every stream
+        // distinct in the immediate bits.
+        assert!(
+            2 * picked.len() as u32 + 2 <= proto.imm.max_coll_id(),
+            "batch of {} jobs exceeds the immediate-layout collective-id space",
+            picked.len()
+        );
+
+        // Fabric config for the batch: per-batch seed, group table capped
+        // at the pool capacity so overcommit would trip the switch model.
+        let mut fabric = self.cfg.fabric.clone();
+        fabric.seed = self.cfg.fabric.seed.wrapping_add(index);
+        fabric.mcast_table_capacity = Some(self.pool.capacity());
+        let plans = picked
+            .iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let kind = match job.spec.kind {
+                    JobKind::Broadcast { root } => CollectiveKind::Broadcast { root },
+                    JobKind::Allgather | JobKind::AgRs => CollectiveKind::Allgather,
+                };
+                Arc::new(CollectivePlan::new(
+                    kind,
+                    p,
+                    job.spec.send_len,
+                    proto.mtu,
+                    proto.imm,
+                    CollectiveId(2 * i as u32 + 1),
+                    proto.subgroups,
+                    proto.chains,
+                ))
+            })
+            .collect();
+        let with_rs = picked
+            .iter()
+            .map(|job| matches!(job.spec.kind, JobKind::AgRs))
+            .collect();
+        let sim = BatchSim {
+            index,
+            topo: self.topo.clone(),
+            fabric,
+            proto,
+            plans,
+            with_rs,
+        };
+        Some(FormedBatch {
+            index,
+            picked,
+            per_job_groups,
+            setup_ns,
+            started_ns: self.now_ns,
+            partition,
+            sim,
+        })
+    }
+}

@@ -1,0 +1,90 @@
+//! **Merge** — the order-sensitive, cheap final phase of a batch's
+//! lifecycle: thread the batch onto the virtual service timeline, emit
+//! its [`JobRecord`]s, and fold its totals into the runtime aggregates.
+//!
+//! The merge rule is what makes out-of-order simulation deterministic:
+//! batches may *simulate* in any order (or concurrently), but they
+//! *commit* here in a fixed order — batch order for the closed-loop wave
+//! paths, virtual completion-time order (ties broken by batch index) for
+//! the open-loop engine — so the clock, the EWMA throttle state, and
+//! every report field are pure functions of the submission stream.
+
+use super::form::FormedBatch;
+use super::sim::{delivered_bytes, BatchOutcome};
+use super::{BatchReport, Runtime};
+use crate::stats::JobRecord;
+
+impl Runtime {
+    /// Commit one simulated batch at virtual time `batch_start`,
+    /// emitting its job records. The closed-loop paths pass the current
+    /// clock (batches run back to back); the open-loop engine passes the
+    /// batch's formation time (batches overlap).
+    pub(super) fn merge_batch(
+        &mut self,
+        formed: FormedBatch,
+        outcome: BatchOutcome,
+        batch_start: u64,
+    ) -> BatchReport {
+        let FormedBatch {
+            index,
+            picked,
+            per_job_groups,
+            setup_ns,
+            partition,
+            sim,
+            ..
+        } = formed;
+        self.moved_bytes += outcome.moved_bytes;
+
+        // Account every job on the virtual timeline: queueing ended at
+        // dispatch; group programming happens before data flies.
+        let dispatch_ns = batch_start + setup_ns;
+        let mut job_ids = Vec::with_capacity(picked.len());
+        for (i, job) in picked.iter().enumerate() {
+            let delivered = delivered_bytes(job.spec.kind, &sim.plans[i]);
+            let (group_hits, group_builds, group_rebuilds) = per_job_groups[i];
+            let rec = JobRecord {
+                id: job.id,
+                tenant: job.spec.tenant,
+                kind: job.spec.kind,
+                send_len: job.spec.send_len,
+                batch: index,
+                partition,
+                submitted_ns: job.submitted_ns,
+                started_ns: batch_start,
+                finished_ns: dispatch_ns + outcome.slot_done_ns[i],
+                delivered_bytes: delivered,
+                group_hits,
+                group_builds,
+                group_rebuilds,
+            };
+            let ts = &mut self.tenants[job.spec.tenant.idx()];
+            ts.completed += 1;
+            ts.queue_ns_sum += rec.queue_ns();
+            ts.service_ns_sum += rec.service_ns();
+            ts.delivered_bytes += delivered;
+            ts.last_finish_ns = ts.last_finish_ns.max(rec.finished_ns);
+            self.delivered_bytes += delivered;
+            // Sojourn EWMA (α = ¼) feeding the admission throttle:
+            // integer arithmetic, updated in commit order, so it is as
+            // deterministic as the records themselves.
+            self.sojourn_ewma_ns = (3 * self.sojourn_ewma_ns + rec.latency_ns()) / 4;
+            job_ids.push(job.id);
+            self.records.push(rec);
+        }
+
+        let done_ns = dispatch_ns + outcome.batch_ns;
+        self.now_ns = self.now_ns.max(done_ns);
+        self.batches += 1;
+        let ps = &mut self.partition_stats[partition as usize];
+        ps.batches += 1;
+        ps.busy_ns += setup_ns + outcome.batch_ns;
+        BatchReport {
+            index,
+            started_ns: batch_start,
+            setup_ns,
+            batch_ns: outcome.batch_ns,
+            jobs: job_ids,
+        }
+    }
+}

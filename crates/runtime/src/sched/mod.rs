@@ -1,0 +1,772 @@
+//! The runtime scheduler: admits jobs, batches them fairly across
+//! tenants, arbitrates the multicast-group table, and drives each batch
+//! over a fresh DES fabric while a virtual clock threads the batches
+//! into one continuous service timeline.
+//!
+//! ## Execution model
+//!
+//! Time is virtual nanoseconds. A **batch** is dispatched by taking at
+//! most one head-of-line job per ready tenant (round-robin over a
+//! rotating cursor on the queue's ready index) until
+//! [`RuntimeConfig::max_inflight`] jobs are picked or the batch's
+//! distinct multicast-group demand would exceed its group budget. Group
+//! acquisition charges subnet-manager programming time
+//! (`build`/`rebuild`) on the clock *before* data flies; the batch then
+//! runs to quiescence on a dedicated [`Fabric`] whose group table is
+//! capped at the pool capacity, so the resource model is enforced at the
+//! switch level too. Jobs in one batch genuinely contend: they share
+//! every NIC's round-robin QP arbiter and every fabric link.
+//!
+//! ## Phases: form / simulate / merge
+//!
+//! A batch's lifecycle is split across the submodules: **formation**
+//! ([`form`] — pick jobs, acquire/pin multicast groups, charge SM
+//! programming time; order-sensitive and cheap), **simulation**
+//! ([`sim`] — the expensive fabric run, a self-contained [`Send`] job),
+//! and **merge** ([`merge`] — thread the virtual clock, emit
+//! [`JobRecord`](crate::stats::JobRecord)s). Formation never reads a
+//! simulation result, so simulations may run out of order or
+//! concurrently; merges commit in a fixed order, which makes every
+//! report a pure function of the submission stream.
+//!
+//! ## Closed loop vs open loop
+//!
+//! The closed-loop drivers ([`Runtime::run_to_completion`],
+//! [`Runtime::run_to_completion_jobs`]) drain a pre-filled queue batch
+//! by batch — the replay-harness shape, kept bit-for-bit stable. The
+//! **open-loop engine** ([`Runtime::run_open_loop_jobs`]) instead pulls
+//! a seeded arrival stream ([`crate::arrivals`]) onto the virtual clock
+//! via [`Runtime::submit_at`], and starts batches *resource-driven*:
+//! whenever a fabric partition (an independent SM domain) is free and
+//! the group pool has pinning headroom, the next fair batch forms and
+//! launches immediately — so batches with disjoint group sets **overlap
+//! on the virtual clock** across partitions (cross-batch pipelining).
+//! Completions commit in virtual-time order (ties by batch index), and
+//! per-batch seeds derive from the batch index, so reports are
+//! byte-identical for any worker count.
+
+mod form;
+mod merge;
+mod sim;
+
+use crate::arrivals::Arrival;
+use crate::job::{
+    AdmissionPolicy, JobId, JobKind, JobQueue, JobSpec, PendingJob, RejectReason, TenantId,
+};
+use crate::pool::{McastGroupPool, PoolConfig};
+use crate::stats::{PartitionStats, RejectCounts, RuntimeReport, TenantStats};
+use form::{FormMode, FormedBatch};
+use mcag_core::ProtocolConfig;
+use mcag_exec::par_map;
+use mcag_simnet::{FabricConfig, Topology};
+use sim::{simulate_batch, BatchOutcome};
+use std::collections::BTreeSet;
+
+#[allow(unused_imports)] // doc links
+use mcag_simnet::Fabric;
+
+/// Everything the runtime needs to know up front.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Fabric model shared by every batch (per-batch seeds derive from
+    /// `fabric.seed`, so runs are deterministic end to end).
+    pub fabric: FabricConfig,
+    /// Protocol knobs applied to every job.
+    pub proto: ProtocolConfig,
+    /// Multicast-group pool (the switch table).
+    pub pool: PoolConfig,
+    /// Submit-time admission thresholds.
+    pub admission: AdmissionPolicy,
+    /// Max jobs dispatched into one batch.
+    pub max_inflight: usize,
+    /// Independent fabric partitions (SM domains) the open-loop engine
+    /// may run batches on concurrently — the cross-batch pipelining
+    /// width. The closed-loop drivers always run on partition 0.
+    pub partitions: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            fabric: FabricConfig::ucc_default(),
+            proto: ProtocolConfig::default(),
+            pool: PoolConfig::default(),
+            admission: AdmissionPolicy::default(),
+            max_inflight: 8,
+            partitions: 1,
+        }
+    }
+}
+
+/// What one dispatched batch did (returned by
+/// [`Runtime::run_next_batch`] for introspection; the per-job view lands
+/// in [`JobRecord`](crate::stats::JobRecord)s).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Batch index.
+    pub index: u64,
+    /// Virtual time the batch was dispatched.
+    pub started_ns: u64,
+    /// Subnet-manager group programming time charged before launch.
+    pub setup_ns: u64,
+    /// Fabric time from launch to quiescence.
+    pub batch_ns: u64,
+    /// Jobs that ran.
+    pub jobs: Vec<JobId>,
+}
+
+/// A simulated batch waiting for its virtual completion time.
+struct InflightBatch {
+    formed: FormedBatch,
+    outcome: BatchOutcome,
+    /// Virtual completion: `started + setup + batch_ns`.
+    done_ns: u64,
+}
+
+/// The long-lived multi-tenant collective runtime.
+pub struct Runtime {
+    topo: Topology,
+    cfg: RuntimeConfig,
+    pool: McastGroupPool,
+    queue: JobQueue,
+    tenants: Vec<TenantStats>,
+    records: Vec<crate::stats::JobRecord>,
+    now_ns: u64,
+    next_job: u64,
+    batches: u64,
+    /// Batches formed so far (equals `batches` between waves; runs ahead
+    /// of it while formed batches await simulation + merge). Per-batch
+    /// fabric seeds derive from this index.
+    formed: u64,
+    delivered_bytes: u64,
+    moved_bytes: u64,
+    /// Scheduled open-loop arrivals, sorted by time; `arrival_cursor`
+    /// marks the first not-yet-due row.
+    arrivals: Vec<Arrival>,
+    arrival_cursor: usize,
+    /// Batches overlapping on the virtual clock (open-loop engine only).
+    inflight: Vec<InflightBatch>,
+    /// Per-partition occupancy aggregates, indexed by partition.
+    partition_stats: Vec<PartitionStats>,
+    /// EWMA (α = ¼) of completed-job sojourn time, feeding the
+    /// admission throttle.
+    sojourn_ewma_ns: u64,
+    /// Submission attempts (admitted + rejected).
+    offered: u64,
+    rejects: RejectCounts,
+}
+
+impl Runtime {
+    /// Create a runtime serving collectives on `topo`.
+    pub fn new(topo: Topology, cfg: RuntimeConfig) -> Runtime {
+        assert!(topo.num_hosts() >= 2, "runtime needs at least two ranks");
+        assert!(cfg.max_inflight >= 1, "max_inflight must be positive");
+        assert!(cfg.partitions >= 1, "need at least one fabric partition");
+        let pool = McastGroupPool::new(cfg.pool);
+        let partition_stats = vec![PartitionStats::default(); cfg.partitions];
+        Runtime {
+            topo,
+            cfg,
+            pool,
+            queue: JobQueue::new(),
+            tenants: Vec::new(),
+            records: Vec::new(),
+            now_ns: 0,
+            next_job: 0,
+            batches: 0,
+            formed: 0,
+            delivered_bytes: 0,
+            moved_bytes: 0,
+            arrivals: Vec::new(),
+            arrival_cursor: 0,
+            inflight: Vec::new(),
+            partition_stats,
+            sojourn_ewma_ns: 0,
+            offered: 0,
+            rejects: RejectCounts::default(),
+        }
+    }
+
+    /// Register a tenant; its id indexes the per-tenant stats.
+    pub fn register_tenant(&mut self, name: &str) -> TenantId {
+        let id = TenantId(self.tenants.len() as u32);
+        self.tenants.push(TenantStats::new(name));
+        self.queue.add_tenant();
+        id
+    }
+
+    /// Current virtual time (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Jobs waiting to be scheduled.
+    pub fn pending_jobs(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Group-pool handle (counters, residency).
+    pub fn pool(&self) -> &McastGroupPool {
+        &self.pool
+    }
+
+    /// Distinct multicast groups a job pins while running: one tree per
+    /// subgroup (clamped to the chunk count, as the plan does) plus the
+    /// reduction tree for AG+RS jobs.
+    pub fn group_demand(&self, kind: JobKind, send_len: usize) -> u32 {
+        let chunks = (self.cfg.proto.mtu.chunks_for(send_len) as u32).max(1);
+        let subs = self.cfg.proto.subgroups.clamp(1, chunks);
+        subs + matches!(kind, JobKind::AgRs) as u32
+    }
+
+    /// Submit a collective at the current virtual time. Admission
+    /// control runs here: the job is either queued (`Ok`) or refused
+    /// with a [`RejectReason`], counted against the tenant.
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        kind: JobKind,
+        send_len: usize,
+    ) -> Result<JobId, RejectReason> {
+        let now = self.now_ns;
+        self.admit_arrival(Arrival {
+            arrival_ns: now,
+            tenant,
+            kind,
+            send_len,
+        })
+    }
+
+    /// Schedule one arrival at `at_ns ≥ now` on the virtual clock; the
+    /// admission decision is taken when virtual time reaches `at_ns`
+    /// during an open-loop run ([`Runtime::run_open_loop_jobs`]). This
+    /// is how the [`crate::arrivals`] generators feed the runtime.
+    pub fn submit_at(&mut self, at_ns: u64, tenant: TenantId, kind: JobKind, send_len: usize) {
+        assert!(
+            at_ns >= self.now_ns,
+            "arrival at {at_ns} ns is in the past (now = {} ns)",
+            self.now_ns
+        );
+        let arrival = Arrival {
+            arrival_ns: at_ns,
+            tenant,
+            kind,
+            send_len,
+        };
+        // Insert after any equal-time rows: arrival order is preserved
+        // for simultaneous submissions.
+        let pos = self
+            .arrivals
+            .partition_point(|a| a.arrival_ns <= at_ns)
+            .max(self.arrival_cursor);
+        self.arrivals.insert(pos, arrival);
+    }
+
+    /// Load a whole arrival stream (e.g. a generated
+    /// [`Workload`](crate::arrivals::Workload) or a merged trace) for an
+    /// open-loop run. Rows must not be in the past; they are merged,
+    /// stably, with anything already scheduled.
+    pub fn load_arrivals(&mut self, rows: &[Arrival]) {
+        for &row in rows {
+            self.submit_at(row.arrival_ns, row.tenant, row.kind, row.send_len);
+        }
+    }
+
+    /// Open-loop arrivals not yet due.
+    pub fn scheduled_arrivals(&self) -> usize {
+        self.arrivals.len() - self.arrival_cursor
+    }
+
+    /// Admit one due arrival at the current virtual time.
+    fn admit_arrival(&mut self, a: Arrival) -> Result<JobId, RejectReason> {
+        self.offered += 1;
+        if a.tenant.idx() >= self.tenants.len() {
+            self.rejects.count(RejectReason::UnknownTenant);
+            return Err(RejectReason::UnknownTenant);
+        }
+        if let Err(reason) = self.admission_check(a.tenant, a.kind, a.send_len) {
+            self.rejects.count(reason);
+            self.tenants[a.tenant.idx()].rejected += 1;
+            return Err(reason);
+        }
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.queue.push(PendingJob {
+            id,
+            spec: JobSpec {
+                tenant: a.tenant,
+                kind: a.kind,
+                send_len: a.send_len,
+            },
+            submitted_ns: a.arrival_ns,
+            group_demand: self.group_demand(a.kind, a.send_len),
+        });
+        self.tenants[a.tenant.idx()].submitted += 1;
+        Ok(id)
+    }
+
+    fn admission_check(
+        &self,
+        tenant: TenantId,
+        kind: JobKind,
+        send_len: usize,
+    ) -> Result<(), RejectReason> {
+        if send_len == 0 {
+            return Err(RejectReason::Empty);
+        }
+        if send_len > self.cfg.admission.max_send_len {
+            return Err(RejectReason::TooLarge);
+        }
+        if let JobKind::Broadcast { root } = kind {
+            if root.idx() >= self.topo.num_hosts() {
+                return Err(RejectReason::InvalidRoot);
+            }
+        }
+        if self.group_demand(kind, send_len) as usize > self.pool.capacity() {
+            return Err(RejectReason::GroupDemand);
+        }
+        // Load shedding: while recent sojourn (EWMA over commits) is
+        // over the threshold, refuse new work so queued jobs drain.
+        if let Some(limit) = self.cfg.admission.throttle_sojourn_ns {
+            if self.sojourn_ewma_ns > limit {
+                return Err(RejectReason::Throttled);
+            }
+        }
+        if self.queue.len() >= self.cfg.admission.max_queued_total {
+            return Err(RejectReason::QueueFull);
+        }
+        if self.queue.queued_for(tenant) >= self.cfg.admission.max_queued_per_tenant {
+            return Err(RejectReason::TenantQuota);
+        }
+        Ok(())
+    }
+
+    /// Dispatch and run the next fair batch; `None` when the queue is
+    /// empty. Advances the virtual clock past the batch.
+    pub fn run_next_batch(&mut self) -> Option<BatchReport> {
+        let formed = self.form_batch(FormMode::Sequential)?;
+        let outcome = simulate_batch(&formed.sim);
+        let start = self.now_ns;
+        Some(self.merge_batch(formed, outcome, start))
+    }
+
+    /// Drain the queue batch by batch and return the final report
+    /// (serial reference path — identical to
+    /// [`Runtime::run_to_completion_jobs`] with `jobs = 1`).
+    pub fn run_to_completion(&mut self) -> RuntimeReport {
+        self.assert_no_scheduled_arrivals();
+        while self.run_next_batch().is_some() {}
+        self.report()
+    }
+
+    /// Drain the queue with up to `jobs` batch simulations in flight:
+    /// batch *formation* stays sequential (admission and the group pool
+    /// are order-sensitive and cheap), the expensive per-batch fabric
+    /// runs execute on the fork-join executor, and results merge in
+    /// batch order. Per-batch seeds derive from the batch index, so the
+    /// returned report is **byte-identical** to [`run_to_completion`]
+    /// (`Runtime::run_to_completion`) for every `jobs` value.
+    pub fn run_to_completion_jobs(&mut self, jobs: usize) -> RuntimeReport {
+        self.assert_no_scheduled_arrivals();
+        let mut formed = Vec::new();
+        while let Some(fb) = self.form_batch(FormMode::Sequential) {
+            formed.push(fb);
+        }
+        let outcomes = par_map(jobs, &formed, |fb| simulate_batch(&fb.sim));
+        for (fb, outcome) in formed.into_iter().zip(outcomes) {
+            let start = self.now_ns;
+            self.merge_batch(fb, outcome, start);
+        }
+        self.report()
+    }
+
+    fn assert_no_scheduled_arrivals(&self) {
+        assert_eq!(
+            self.scheduled_arrivals(),
+            0,
+            "open-loop arrivals are scheduled: drive them with run_open_loop / run_open_loop_jobs"
+        );
+    }
+
+    /// Serial open-loop run (= [`Runtime::run_open_loop_jobs`] with one
+    /// worker).
+    pub fn run_open_loop(&mut self) -> RuntimeReport {
+        self.run_open_loop_jobs(1)
+    }
+
+    /// The open-loop event engine: consume the scheduled arrival stream
+    /// on the virtual clock, starting batches **resource-driven** — a
+    /// batch forms and launches the moment a fabric partition is free
+    /// and the group pool has pinning headroom — so disjoint-group
+    /// batches overlap on the virtual clock across
+    /// [`RuntimeConfig::partitions`] SM domains. Up to `jobs` batch
+    /// simulations run concurrently on the fork-join executor; their
+    /// results **commit in virtual completion-time order** (ties broken
+    /// by batch index), so the report is byte-identical for any `jobs`.
+    pub fn run_open_loop_jobs(&mut self, jobs: usize) -> RuntimeReport {
+        assert!(jobs >= 1, "need at least one worker");
+        loop {
+            self.admit_due_arrivals();
+            self.launch_ready(jobs);
+            let next_done = self.inflight.iter().map(|b| b.done_ns).min();
+            let next_arrival = self.arrivals.get(self.arrival_cursor).map(|a| a.arrival_ns);
+            let t = match (next_done, next_arrival) {
+                (Some(d), Some(a)) => d.min(a),
+                (Some(d), None) => d,
+                (None, Some(a)) => a,
+                (None, None) => {
+                    // Nothing in flight and nothing to come. Admission
+                    // caps group demand at the pool capacity and idle
+                    // tenants at an empty engine are always ready, so an
+                    // empty launch here means an empty queue.
+                    assert!(
+                        self.queue.is_empty(),
+                        "open-loop engine stalled with {} pending jobs",
+                        self.queue.len()
+                    );
+                    break;
+                }
+            };
+            self.now_ns = self.now_ns.max(t);
+            if next_done == Some(t) {
+                self.commit_due(t);
+            }
+        }
+        self.report()
+    }
+
+    /// Admit every scheduled arrival whose time has come.
+    fn admit_due_arrivals(&mut self) {
+        while let Some(&a) = self.arrivals.get(self.arrival_cursor) {
+            if a.arrival_ns > self.now_ns {
+                break;
+            }
+            self.arrival_cursor += 1;
+            // Rejections are counted (per reason, per tenant) — an
+            // open-loop generator has nowhere to return an error to.
+            let _ = self.admit_arrival(a);
+        }
+    }
+
+    /// Form and launch batches while a partition is free and the next
+    /// fair batch fits the pool's pinning headroom.
+    fn launch_ready(&mut self, jobs: usize) {
+        let mut newly: Vec<FormedBatch> = Vec::new();
+        while let Some(partition) = self.free_partition(&newly) {
+            match self.form_batch(FormMode::Pipelined { partition }) {
+                Some(fb) => newly.push(fb),
+                None => break,
+            }
+        }
+        if newly.is_empty() {
+            return;
+        }
+        let outcomes = par_map(jobs, &newly, |fb| simulate_batch(&fb.sim));
+        for (fb, outcome) in newly.into_iter().zip(outcomes) {
+            let done_ns = fb.started_ns + fb.setup_ns + outcome.batch_ns;
+            self.inflight.push(InflightBatch {
+                formed: fb,
+                outcome,
+                done_ns,
+            });
+        }
+    }
+
+    /// Lowest-index partition not occupied by an in-flight or
+    /// just-formed batch.
+    fn free_partition(&self, pending: &[FormedBatch]) -> Option<u32> {
+        let used: BTreeSet<u32> = self
+            .inflight
+            .iter()
+            .map(|b| b.formed.partition)
+            .chain(pending.iter().map(|fb| fb.partition))
+            .collect();
+        (0..self.cfg.partitions as u32).find(|p| !used.contains(p))
+    }
+
+    /// Commit every in-flight batch completing at virtual time `t`, in
+    /// batch-index order: release its group pins, idle its tenants, free
+    /// its partition, and merge its records.
+    fn commit_due(&mut self, t: u64) {
+        let mut due: Vec<InflightBatch> = Vec::new();
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].done_ns == t {
+                due.push(self.inflight.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due.sort_by_key(|b| b.formed.index);
+        for infl in due {
+            let keys: Vec<_> = infl
+                .formed
+                .picked
+                .iter()
+                .flat_map(|job| self.group_keys(job))
+                .collect();
+            self.pool.unpin(&keys);
+            for job in &infl.formed.picked {
+                self.queue.mark_idle(job.spec.tenant);
+            }
+            let start = infl.formed.started_ns;
+            self.merge_batch(infl.formed, infl.outcome, start);
+        }
+    }
+
+    /// Snapshot of everything measured so far.
+    pub fn report(&self) -> RuntimeReport {
+        RuntimeReport {
+            jobs: self.records.clone(),
+            tenants: self.tenants.clone(),
+            pool: self.pool.stats(),
+            batches: self.batches,
+            makespan_ns: self.now_ns,
+            delivered_bytes: self.delivered_bytes,
+            moved_bytes: self.moved_bytes,
+            offered_jobs: self.offered,
+            rejects: self.rejects,
+            partitions: self.partition_stats.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcag_verbs::{LinkRate, Rank};
+
+    fn star(p: usize) -> Topology {
+        Topology::single_switch(p, LinkRate::CX3_56G, 100)
+    }
+
+    fn small_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            pool: PoolConfig::with_capacity(4),
+            max_inflight: 4,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_job_completes() {
+        let mut rt = Runtime::new(star(4), small_cfg());
+        let t = rt.register_tenant("solo");
+        rt.submit(t, JobKind::Allgather, 32 << 10).unwrap();
+        let report = rt.run_to_completion();
+        assert_eq!(report.completed_jobs(), 1);
+        assert_eq!(report.batches, 1);
+        let rec = &report.jobs[0];
+        assert_eq!(rec.queue_ns(), 0);
+        assert!(rec.service_ns() > 0);
+        // One group built, never hit.
+        assert_eq!(report.pool.builds, 1);
+        assert_eq!(report.pool.hits, 0);
+        // Offered-load accounting: one attempt, no rejects, partition 0
+        // busy for the whole makespan.
+        assert_eq!(report.offered_jobs, 1);
+        assert_eq!(report.rejects.total(), 0);
+        assert_eq!(report.partitions.len(), 1);
+        assert_eq!(report.partitions[0].batches, 1);
+        assert_eq!(report.partitions[0].busy_ns, report.makespan_ns);
+    }
+
+    #[test]
+    fn mixed_kinds_share_one_batch() {
+        let mut rt = Runtime::new(star(4), small_cfg());
+        let a = rt.register_tenant("bcast");
+        let b = rt.register_tenant("ag");
+        let c = rt.register_tenant("fsdp");
+        rt.submit(a, JobKind::Broadcast { root: Rank(1) }, 16 << 10)
+            .unwrap();
+        rt.submit(b, JobKind::Allgather, 16 << 10).unwrap();
+        rt.submit(c, JobKind::AgRs, 16 << 10).unwrap();
+        let report = rt.run_to_completion();
+        assert_eq!(report.completed_jobs(), 3);
+        assert_eq!(report.batches, 1, "4 groups demanded, 4 slots: one batch");
+        for rec in &report.jobs {
+            assert!(rec.finished_ns > rec.started_ns);
+            assert!(rec.delivered_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn second_job_hits_the_pool() {
+        let mut rt = Runtime::new(star(4), small_cfg());
+        let t = rt.register_tenant("repeat");
+        rt.submit(t, JobKind::Allgather, 16 << 10).unwrap();
+        rt.submit(t, JobKind::Allgather, 16 << 10).unwrap();
+        let report = rt.run_to_completion();
+        assert_eq!(report.batches, 2, "one job per tenant per batch");
+        assert_eq!(report.pool.builds, 1);
+        assert_eq!(report.pool.hits, 1, "second batch reuses the group");
+        // The hit batch skips SM programming, so it finishes faster.
+        assert!(report.jobs[1].service_ns() < report.jobs[0].service_ns());
+    }
+
+    #[test]
+    fn clock_threads_batches() {
+        let mut rt = Runtime::new(star(4), small_cfg());
+        let t = rt.register_tenant("a");
+        let u = rt.register_tenant("b");
+        for _ in 0..2 {
+            rt.submit(t, JobKind::Allgather, 16 << 10).unwrap();
+            rt.submit(u, JobKind::Allgather, 16 << 10).unwrap();
+        }
+        let b0 = rt.run_next_batch().unwrap();
+        assert_eq!(b0.started_ns, 0);
+        let b1 = rt.run_next_batch().unwrap();
+        assert_eq!(b1.started_ns, b0.setup_ns + b0.batch_ns);
+        let report = rt.run_to_completion();
+        // Second-batch jobs queued from t=0 until batch 1 dispatched.
+        let late: Vec<_> = report.jobs.iter().filter(|j| j.batch == 1).collect();
+        assert_eq!(late.len(), 2);
+        for j in late {
+            assert_eq!(j.queue_ns(), b1.started_ns);
+        }
+    }
+
+    #[test]
+    fn wave_execution_matches_serial_bit_for_bit() {
+        let submit_all = |rt: &mut Runtime| {
+            let a = rt.register_tenant("a");
+            let b = rt.register_tenant("b");
+            let c = rt.register_tenant("c");
+            for _ in 0..3 {
+                rt.submit(a, JobKind::Allgather, 16 << 10).unwrap();
+                rt.submit(b, JobKind::Broadcast { root: Rank(2) }, 32 << 10)
+                    .unwrap();
+                rt.submit(c, JobKind::AgRs, 16 << 10).unwrap();
+            }
+        };
+        let mut serial = Runtime::new(star(4), small_cfg());
+        submit_all(&mut serial);
+        let serial_report = serial.run_to_completion();
+        for jobs in [1usize, 3] {
+            let mut wave = Runtime::new(star(4), small_cfg());
+            submit_all(&mut wave);
+            let wave_report = wave.run_to_completion_jobs(jobs);
+            assert_eq!(wave_report, serial_report, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn group_demand_counts_subgroups_and_rs() {
+        let cfg = RuntimeConfig {
+            proto: ProtocolConfig::parallel(4, 1),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::new(star(4), cfg);
+        assert_eq!(rt.group_demand(JobKind::Allgather, 64 << 10), 4);
+        assert_eq!(rt.group_demand(JobKind::AgRs, 64 << 10), 5);
+        // One-chunk message clamps to a single subgroup.
+        assert_eq!(rt.group_demand(JobKind::Allgather, 1024), 1);
+    }
+
+    #[test]
+    fn open_loop_consumes_scheduled_arrivals() {
+        let mut rt = Runtime::new(star(4), small_cfg());
+        let t = rt.register_tenant("open");
+        rt.submit_at(0, t, JobKind::Allgather, 16 << 10);
+        rt.submit_at(5_000_000, t, JobKind::Allgather, 16 << 10);
+        assert_eq!(rt.scheduled_arrivals(), 2);
+        let report = rt.run_open_loop();
+        assert_eq!(rt.scheduled_arrivals(), 0);
+        assert_eq!(report.completed_jobs(), 2);
+        assert_eq!(report.batches, 2);
+        // The second arrival waited for its arrival time, not the queue.
+        assert_eq!(report.jobs[1].submitted_ns, 5_000_000);
+        assert!(report.jobs[1].started_ns >= 5_000_000);
+    }
+
+    #[test]
+    fn pipelined_batches_overlap_on_virtual_clock() {
+        // Two partitions, two tenants with disjoint group sets, one job
+        // per batch: the engine must run them concurrently on the
+        // virtual clock — the cross-batch pipelining acceptance check.
+        let cfg = RuntimeConfig {
+            pool: PoolConfig::with_capacity(8),
+            max_inflight: 1,
+            partitions: 2,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(star(4), cfg);
+        let a = rt.register_tenant("a");
+        let b = rt.register_tenant("b");
+        rt.submit_at(0, a, JobKind::Allgather, 64 << 10);
+        rt.submit_at(0, b, JobKind::Allgather, 64 << 10);
+        let report = rt.run_open_loop();
+        assert_eq!(report.completed_jobs(), 2);
+        assert_eq!(report.batches, 2);
+        let (r0, r1) = (&report.jobs[0], &report.jobs[1]);
+        assert_ne!(r0.partition, r1.partition, "disjoint SM domains");
+        // Interval overlap on the virtual clock.
+        assert!(
+            r0.started_ns < r1.finished_ns && r1.started_ns < r0.finished_ns,
+            "batches must overlap: [{}, {}) vs [{}, {})",
+            r0.started_ns,
+            r0.finished_ns,
+            r1.started_ns,
+            r1.finished_ns
+        );
+        // Both partitions did work, and the makespan beats the serial
+        // sum of the two service times (the pipelining payoff).
+        assert!(report.partitions.iter().all(|p| p.batches == 1));
+        assert!(report.makespan_ns < r0.service_ns() + r1.service_ns());
+        assert!(report.utilization() > 0.5);
+    }
+
+    #[test]
+    fn open_loop_report_identical_across_worker_counts() {
+        let run = |jobs: usize| {
+            let cfg = RuntimeConfig {
+                pool: PoolConfig::with_capacity(6),
+                max_inflight: 2,
+                partitions: 2,
+                ..RuntimeConfig::default()
+            };
+            let mut rt = Runtime::new(star(4), cfg);
+            let ids: Vec<TenantId> = (0..4)
+                .map(|i| rt.register_tenant(&format!("t{i}")))
+                .collect();
+            for (i, &t) in ids.iter().enumerate() {
+                for j in 0..3u64 {
+                    rt.submit_at(j * 300_000, t, JobKind::Allgather, (8 << 10) << (i % 2));
+                }
+            }
+            rt.run_open_loop_jobs(jobs)
+        };
+        let serial = run(1);
+        let wave = run(4);
+        assert_eq!(serial, wave);
+        assert_eq!(format!("{serial:?}"), format!("{wave:?}"));
+    }
+
+    #[test]
+    fn throttle_sheds_load_under_overload() {
+        // Threshold of 1 ns: any completed job trips the throttle, so
+        // every arrival after the first commit is refused as Throttled.
+        let cfg = RuntimeConfig {
+            pool: PoolConfig::with_capacity(4),
+            admission: AdmissionPolicy {
+                throttle_sojourn_ns: Some(1),
+                ..AdmissionPolicy::default()
+            },
+            max_inflight: 1,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(star(4), cfg);
+        let t = rt.register_tenant("storm");
+        // One arrival at t=0, then a burst far enough out to land after
+        // the first job commits.
+        rt.submit_at(0, t, JobKind::Allgather, 16 << 10);
+        for i in 0..5u64 {
+            rt.submit_at(20_000_000 + i, t, JobKind::Allgather, 16 << 10);
+        }
+        let report = rt.run_open_loop();
+        assert_eq!(report.completed_jobs(), 1);
+        assert_eq!(report.rejects.throttled, 5, "burst refused as Throttled");
+        assert_eq!(report.offered_jobs, 6);
+        assert_eq!(report.tenants[t.idx()].rejected, 5);
+    }
+}

@@ -1,0 +1,178 @@
+//! **Simulation** — the expensive, order-free phase of a batch's
+//! lifecycle: run one formed batch on a fresh DES fabric to quiescence
+//! and harvest per-slot completion times. Everything here is a pure
+//! function of a self-contained [`BatchSim`], which is what lets formed
+//! batches execute out of order (and concurrently, via `mcag-exec`)
+//! while the runtime commits their results in virtual-time order.
+
+use crate::job::JobKind;
+use crate::mux::{SlotApp, TenantMuxApp};
+use mcag_core::protocol::QpLayout;
+use mcag_core::ProtocolConfig;
+use mcag_core::{des, CollectivePlan, ControlMsg, IncRsApp, McastRankApp};
+use mcag_simnet::{Fabric, FabricConfig, SimTime, Topology};
+use mcag_verbs::{CollectiveId, McastGroupId, Rank, Transport};
+use std::sync::Arc;
+
+/// Self-contained description of one batch's fabric simulation. `Send`,
+/// so formed batches can run on the fork-join executor; everything the
+/// run needs (topology, seeded fabric config, plans) is owned here.
+pub(super) struct BatchSim {
+    pub(super) index: u64,
+    pub(super) topo: Topology,
+    pub(super) fabric: FabricConfig,
+    pub(super) proto: ProtocolConfig,
+    /// One collective plan per batch slot (collective id `2i + 1`).
+    pub(super) plans: Vec<Arc<CollectivePlan>>,
+    /// Whether slot `i` also runs the in-network Reduce-Scatter half
+    /// (collective id `2i + 2`).
+    pub(super) with_rs: Vec<bool>,
+}
+
+/// What one simulated batch produced (simulated-time results only; the
+/// merge phase threads them onto the virtual service timeline).
+pub(super) struct BatchOutcome {
+    /// Fabric time from launch to quiescence.
+    pub(super) batch_ns: u64,
+    /// Per-slot completion on the fabric clock: the last rank's AG
+    /// release or RS delivery, whichever is later.
+    pub(super) slot_done_ns: Vec<u64>,
+    /// Payload bytes moved across fabric links (switch-counter view).
+    pub(super) moved_bytes: u64,
+}
+
+/// Run one formed batch on a fresh fabric to quiescence and harvest
+/// per-slot completion times from the apps' owned sinks. A pure function
+/// of the [`BatchSim`] — no runtime state — so any number of batches can
+/// execute concurrently without perturbing each other's results.
+pub(super) fn simulate_batch(sim: &BatchSim) -> BatchOutcome {
+    let p = sim.topo.num_hosts() as u32;
+    let n_workers = sim.fabric.host.rx_workers.max(1);
+    let mut fab: Fabric<ControlMsg> = Fabric::new(sim.topo.clone(), sim.fabric.clone());
+    let members: Vec<Rank> = (0..p).map(Rank).collect();
+    let headroom = sim.plans.len() as u64 + 1;
+
+    // Per-slot fabric groups and cutoffs.
+    struct Slot {
+        groups: Vec<McastGroupId>,
+        rs_group: Option<McastGroupId>,
+        cutoff: u64,
+    }
+    let slots: Vec<Slot> = sim
+        .plans
+        .iter()
+        .zip(&sim.with_rs)
+        .map(|(plan, &with_rs)| {
+            let groups: Vec<McastGroupId> = (0..plan.num_subgroups())
+                .map(|_| fab.create_group(&members))
+                .collect();
+            let rs_group = with_rs.then(|| fab.create_group(&members));
+            let cutoff = des::cutoff_ns(fab.topology(), plan, &sim.proto, headroom);
+            Slot {
+                groups,
+                rs_group,
+                cutoff,
+            }
+        })
+        .collect();
+
+    // SPMD app wiring: every rank hosts one endpoint per job, muxed by
+    // QP ownership and token namespace.
+    for &r in &members {
+        let mut apps = Vec::with_capacity(slots.len());
+        let mut qp_owner = Vec::new();
+        for (i, (plan, slot)) in sim.plans.iter().zip(&slots).enumerate() {
+            let ctrl = fab.add_qp(r, Transport::Rc, 0);
+            qp_owner.push(i);
+            let mut subgroup_qps = Vec::with_capacity(slot.groups.len());
+            for (j, &g) in slot.groups.iter().enumerate() {
+                let qp = fab.add_qp(r, Transport::Ud, (i + j) % n_workers);
+                fab.attach(r, qp, g);
+                subgroup_qps.push(qp);
+                qp_owner.push(i);
+            }
+            let ag = McastRankApp::new(
+                Arc::clone(plan),
+                r,
+                QpLayout {
+                    ctrl,
+                    subgroup_qps,
+                    groups: slot.groups.clone(),
+                },
+                slot.cutoff,
+            );
+            let app = match slot.rs_group {
+                Some(rsg) => {
+                    let rs_qp = fab.add_qp(r, Transport::Rc, 0);
+                    qp_owner.push(i);
+                    let rs = IncRsApp::new(
+                        p,
+                        r,
+                        plan.send_len(),
+                        sim.proto.mtu,
+                        sim.proto.imm,
+                        CollectiveId(2 * i as u32 + 2),
+                        rs_qp,
+                        rsg,
+                    );
+                    SlotApp::AgRs { ag, rs, rs_qp }
+                }
+                None => SlotApp::Coll(ag),
+            };
+            apps.push(app);
+        }
+        fab.set_app(r, Box::new(TenantMuxApp::new(apps, qp_owner)));
+    }
+
+    // Batch watchdog: every job's cutoff already upper-bounds its drain
+    // (headroom includes the batch size), so a batch still running
+    // orders of magnitude past the summed cutoffs is livelocked. The
+    // peek-based `run_until` stops cleanly at the deadline instead of
+    // grinding toward the event cap.
+    let total_cutoff: u64 = slots.iter().map(|s| s.cutoff).sum();
+    let watchdog = SimTime::from_ns(total_cutoff.saturating_mul(des::WATCHDOG_CUTOFFS));
+    let stats = fab.run_until(watchdog);
+    assert!(
+        stats.all_done(),
+        "batch {} did not quiesce by {watchdog} (next event at {:?}): {stats:?}",
+        sim.index,
+        fab.next_event_time()
+    );
+    let moved_bytes = fab.traffic().total_data_bytes();
+
+    // Harvest the owned per-app sinks: per slot, the last rank's AG
+    // release and RS delivery.
+    let mut slot_done_ns = vec![0u64; slots.len()];
+    for &r in &members {
+        let rank_slots = fab.take_app_as::<TenantMuxApp>(r).into_slots();
+        for (i, slot_app) in rank_slots.into_iter().enumerate() {
+            let done = match slot_app {
+                SlotApp::Coll(ag) => ag.timing().t_done.map_or(0, SimTime::as_ns),
+                SlotApp::AgRs { ag, rs, .. } => {
+                    let ag_done = ag.timing().t_done.map_or(0, SimTime::as_ns);
+                    let rs_done = rs.times().map_or(0, |(_, end)| end.as_ns());
+                    ag_done.max(rs_done)
+                }
+            };
+            slot_done_ns[i] = slot_done_ns[i].max(done);
+        }
+    }
+    BatchOutcome {
+        batch_ns: stats.end_time.as_ns(),
+        slot_done_ns,
+        moved_bytes,
+    }
+}
+
+/// Payload bytes delivered to hosts by one job.
+pub(super) fn delivered_bytes(kind: JobKind, plan: &CollectivePlan) -> u64 {
+    let ag: u64 = (0..plan.num_ranks())
+        .map(|r| plan.expected_psn_bytes(Rank(r)))
+        .sum();
+    // Each rank additionally receives its reduced shard (N bytes).
+    let rs = match kind {
+        JobKind::AgRs => plan.send_len() as u64 * plan.num_ranks() as u64,
+        _ => 0,
+    };
+    ag + rs
+}

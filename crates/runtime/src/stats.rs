@@ -1,6 +1,6 @@
 //! Per-job records, per-tenant aggregates, and the runtime report.
 
-use crate::job::{JobId, JobKind, TenantId};
+use crate::job::{JobId, JobKind, RejectReason, TenantId};
 use crate::pool::PoolStats;
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +18,9 @@ pub struct JobRecord {
     pub send_len: usize,
     /// Batch the job ran in.
     pub batch: u64,
+    /// Fabric partition (SM domain) the job's batch occupied (always 0
+    /// on the closed-loop paths).
+    pub partition: u32,
     /// Submission time.
     pub submitted_ns: u64,
     /// Time the job's batch was dispatched (queueing ends here).
@@ -103,6 +106,77 @@ impl TenantStats {
     }
 }
 
+/// Admission refusals broken down by [`RejectReason`] — the attribution
+/// the load-shedding study needs (a throttled job is service feedback;
+/// a `TooLarge` job is a client error).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectCounts {
+    /// Submissions naming an unregistered tenant.
+    pub unknown_tenant: u64,
+    /// Zero-byte submissions.
+    pub empty: u64,
+    /// `send_len` over the policy maximum.
+    pub too_large: u64,
+    /// Broadcast roots outside the rank range.
+    pub invalid_root: u64,
+    /// Group demand exceeding the pool capacity.
+    pub group_demand: u64,
+    /// Sojourn-EWMA admission throttle refusals.
+    pub throttled: u64,
+    /// Runtime-wide queue-depth refusals.
+    pub queue_full: u64,
+    /// Per-tenant quota refusals.
+    pub tenant_quota: u64,
+}
+
+impl RejectCounts {
+    /// Attribute one refusal.
+    pub fn count(&mut self, reason: RejectReason) {
+        match reason {
+            RejectReason::UnknownTenant => self.unknown_tenant += 1,
+            RejectReason::Empty => self.empty += 1,
+            RejectReason::TooLarge => self.too_large += 1,
+            RejectReason::InvalidRoot => self.invalid_root += 1,
+            RejectReason::GroupDemand => self.group_demand += 1,
+            RejectReason::Throttled => self.throttled += 1,
+            RejectReason::QueueFull => self.queue_full += 1,
+            RejectReason::TenantQuota => self.tenant_quota += 1,
+        }
+    }
+
+    /// Refusals across all reasons.
+    pub fn total(&self) -> u64 {
+        self.unknown_tenant
+            + self.empty
+            + self.too_large
+            + self.invalid_root
+            + self.group_demand
+            + self.throttled
+            + self.queue_full
+            + self.tenant_quota
+    }
+}
+
+/// Occupancy aggregates for one fabric partition (SM domain).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Batches committed on this partition.
+    pub batches: u64,
+    /// Virtual time the partition spent serving batches (group setup +
+    /// fabric run), ns.
+    pub busy_ns: u64,
+}
+
+impl PartitionStats {
+    /// Fraction of `[0, makespan_ns)` this partition was busy.
+    pub fn occupancy(&self, makespan_ns: u64) -> f64 {
+        if makespan_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / makespan_ns as f64
+    }
+}
+
 /// Snapshot of everything the runtime measured.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeReport {
@@ -121,6 +195,12 @@ pub struct RuntimeReport {
     /// Payload bytes moved across all fabric links (each byte counted
     /// once per link crossed) — the switch-counter view.
     pub moved_bytes: u64,
+    /// Submission attempts, admitted + rejected — the offered load.
+    pub offered_jobs: u64,
+    /// Refusals by reason.
+    pub rejects: RejectCounts,
+    /// Per-partition occupancy, indexed by partition.
+    pub partitions: Vec<PartitionStats>,
 }
 
 impl RuntimeReport {
@@ -151,6 +231,46 @@ impl RuntimeReport {
         let sum: u64 = self.jobs.iter().map(JobRecord::latency_ns).sum();
         sum as f64 / self.jobs.len() as f64
     }
+
+    /// Nearest-rank sojourn-time percentile over completed jobs (ns):
+    /// `q` in `[0, 1]`, e.g. `0.99` for the p99 tail. Sojourn is the
+    /// full queue + service latency. Returns 0 with no completions.
+    pub fn sojourn_percentile_ns(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of [0, 1]: {q}");
+        if self.jobs.is_empty() {
+            return 0;
+        }
+        let mut lat: Vec<u64> = self.jobs.iter().map(JobRecord::latency_ns).collect();
+        lat.sort_unstable();
+        let rank = ((q * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+        lat[rank - 1]
+    }
+
+    /// Offered arrival rate over the run, jobs per simulated second.
+    pub fn offered_rate_per_s(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.offered_jobs as f64 * 1e9 / self.makespan_ns as f64
+    }
+
+    /// Fraction of submission attempts refused, in `[0, 1]`.
+    pub fn reject_rate(&self) -> f64 {
+        if self.offered_jobs == 0 {
+            return 0.0;
+        }
+        self.rejects.total() as f64 / self.offered_jobs as f64
+    }
+
+    /// Mean partition occupancy over the run, in `[0, 1]`: busy virtual
+    /// time summed over partitions, over `makespan × partitions`.
+    pub fn utilization(&self) -> f64 {
+        if self.makespan_ns == 0 || self.partitions.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.partitions.iter().map(|p| p.busy_ns).sum();
+        busy as f64 / (self.makespan_ns as f64 * self.partitions.len() as f64)
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +285,7 @@ mod tests {
             kind: JobKind::Allgather,
             send_len: 4096,
             batch: 0,
+            partition: 0,
             submitted_ns: 100,
             started_ns: 400,
             finished_ns: 1000,
@@ -189,7 +310,62 @@ mod tests {
             makespan_ns: 1_000_000,
             delivered_bytes: 125_000_000,
             moved_bytes: 0,
+            offered_jobs: 0,
+            rejects: RejectCounts::default(),
+            partitions: Vec::new(),
         };
         assert!((rep.sustained_tbps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sojourn_percentile_nearest_rank() {
+        let rec = |submitted_ns: u64, finished_ns: u64| JobRecord {
+            id: JobId(0),
+            tenant: TenantId(0),
+            kind: JobKind::Allgather,
+            send_len: 1,
+            batch: 0,
+            partition: 0,
+            submitted_ns,
+            started_ns: submitted_ns,
+            finished_ns,
+            delivered_bytes: 0,
+            group_hits: 0,
+            group_builds: 0,
+            group_rebuilds: 0,
+        };
+        let rep = RuntimeReport {
+            jobs: (1..=100).map(|i| rec(0, i * 10)).collect(),
+            tenants: Vec::new(),
+            pool: PoolStats::default(),
+            batches: 0,
+            makespan_ns: 1000,
+            delivered_bytes: 0,
+            moved_bytes: 0,
+            offered_jobs: 120,
+            rejects: RejectCounts::default(),
+            partitions: vec![PartitionStats {
+                batches: 4,
+                busy_ns: 500,
+            }],
+        };
+        assert_eq!(rep.sojourn_percentile_ns(0.5), 500);
+        assert_eq!(rep.sojourn_percentile_ns(0.99), 990);
+        assert_eq!(rep.sojourn_percentile_ns(1.0), 1000);
+        assert_eq!(rep.sojourn_percentile_ns(0.0), 10, "rank clamps to 1");
+        assert!((rep.utilization() - 0.5).abs() < 1e-12);
+        assert!((rep.offered_rate_per_s() - 120.0 * 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn reject_counts_attribute_reasons() {
+        let mut rc = RejectCounts::default();
+        rc.count(RejectReason::Throttled);
+        rc.count(RejectReason::Throttled);
+        rc.count(RejectReason::TooLarge);
+        rc.count(RejectReason::QueueFull);
+        assert_eq!(rc.throttled, 2);
+        assert_eq!(rc.too_large, 1);
+        assert_eq!(rc.total(), 4);
     }
 }

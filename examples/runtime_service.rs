@@ -8,11 +8,19 @@
 //! per-tenant latency/queueing stats. The whole run is deterministic: it
 //! executes twice and asserts the reports are identical.
 //!
+//! A second act drives the same service **open-loop**: a seeded Poisson
+//! arrival stream over an NCCL-style op/size mix, scheduled with
+//! cross-batch pipelining over two fabric partitions and committed in
+//! virtual-time order, reporting offered load, sojourn percentiles, and
+//! per-partition utilization.
+//!
 //! ```text
 //! cargo run --release --example runtime_service
 //! ```
 
-use mcast_allgather::runtime::{JobKind, PoolConfig, Runtime, RuntimeConfig, RuntimeReport};
+use mcast_allgather::runtime::{
+    JobKind, OpMix, PoolConfig, RateProcess, Runtime, RuntimeConfig, RuntimeReport, Workload,
+};
 use mcast_allgather::simnet::Topology;
 use mcast_allgather::verbs::{LinkRate, Rank};
 
@@ -113,4 +121,63 @@ fn main() {
         report.moved_bytes as f64 / (1 << 20) as f64
     );
     println!("\ndeterministic across two runs: yes");
+
+    // Act two: the same service under an open-loop Poisson arrival
+    // stream — jobs land on the virtual clock instead of being
+    // pre-queued, and batches pipeline across two fabric partitions.
+    let open = run_open_loop_service();
+    let open_again = run_open_loop_service();
+    assert_eq!(open, open_again, "open-loop runtime must be deterministic");
+    assert!(open.completed_jobs() > 0);
+    assert!(
+        open.partitions.iter().all(|p| p.batches > 0),
+        "both partitions must carry batches"
+    );
+
+    println!(
+        "\nopen-loop act      : {} offered over {:.1} ms, {} completed, {} rejected",
+        open.offered_jobs,
+        open.makespan_ns as f64 / 1e6,
+        open.completed_jobs(),
+        open.rejects.total(),
+    );
+    println!(
+        "sojourn p50 / p99  : {:.1} / {:.1} us (queue + service)",
+        open.sojourn_percentile_ns(0.50) as f64 / 1e3,
+        open.sojourn_percentile_ns(0.99) as f64 / 1e3,
+    );
+    println!(
+        "partitions         : {} batches + {} batches, {:.1}% mean occupancy",
+        open.partitions[0].batches,
+        open.partitions[1].batches,
+        open.utilization() * 100.0,
+    );
+}
+
+fn run_open_loop_service() -> RuntimeReport {
+    let topo = Topology::single_switch(8, LinkRate::CX3_56G, 100);
+    let cfg = RuntimeConfig {
+        pool: PoolConfig::with_capacity(24),
+        max_inflight: 6,
+        partitions: 2,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(topo, cfg);
+    for i in 0..TENANTS {
+        rt.register_tenant(&format!("tenant-{i:02}"));
+    }
+    let workload = Workload {
+        tenants: TENANTS as u32,
+        horizon_ns: 3_000_000,
+        rate: RateProcess::Poisson {
+            mean_interarrival_ns: 50_000,
+        },
+        mix: OpMix {
+            ranks: 8,
+            ..OpMix::default()
+        },
+        seed: 2024,
+    };
+    rt.load_arrivals(&workload.generate());
+    rt.run_open_loop()
 }

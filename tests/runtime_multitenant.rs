@@ -112,6 +112,7 @@ fn admission_rejects_and_counts() {
                 max_queued_total: 4,
                 max_queued_per_tenant: 2,
                 max_send_len: 1 << 20,
+                throttle_sojourn_ns: None,
             },
             max_inflight: 2,
             ..RuntimeConfig::default()
