@@ -1,0 +1,23 @@
+//! Flight-recorder bench: what attaching the trace sink costs on the
+//! smoke-sized scenarios (see `mcag_bench::tracefigs`) — a traced
+//! 188-node Allgather, the Perfetto-export round trip, and the traced
+//! open-loop runtime run whose digests the smoke baseline pins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcag_bench::tracefigs::{reference_chrome_trace, tracefigs_smoke};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig_trace");
+    g.sample_size(10);
+    g.bench_function("chrome_export", |b| {
+        b.iter(|| black_box(reference_chrome_trace().len()))
+    });
+    g.bench_function("tracefigs_smoke", |b| {
+        b.iter(|| black_box(tracefigs_smoke()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [ids…] [--ablations] [--jobs N] [--csv DIR]
+//! figures [ids…] [--ablations] [--jobs N] [--csv DIR] [--trace PATH]
 //! ```
 //!
 //! With no ids, every artifact is produced in paper order. `--jobs N`
@@ -9,23 +9,32 @@
 //! (default: the host's available parallelism); tables are byte-identical
 //! for every `N` — the fork-join executor slots outputs by input index —
 //! so `--jobs` only moves wall clock. `--csv DIR` additionally writes one
-//! CSV per figure plus a `timings.csv` with the per-generator wall clock
-//! and the jobs count it ran with. Every run ends with a wall-clock
+//! CSV per figure plus a `timings.csv` whose rows are uniformly
+//! `<fig>[:<job>],<jobs>,<wall_ms>` (per-generator summaries and the
+//! per-job cost-skew detail share one format — see
+//! `mcag_bench::data::timing_row`). `--trace PATH` exports the reference
+//! traced fat-tree-512 Allgather as Chrome trace-event JSON, ready to
+//! open at <https://ui.perfetto.dev>. Every run ends with a wall-clock
 //! summary table so perf PRs can diff generator runtime, not just
 //! simulated-time results.
 
-use mcag_bench::{generate_with, ABLATIONS, ALL_FIGS, PERF};
+use mcag_bench::data::{timing_row, TIMINGS_CSV_HEADER};
+use mcag_bench::{generate_with, tracefigs, ABLATIONS, ALL_FIGS, PERF};
 use std::io::Write;
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut jobs = mcag_exec::default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--csv" => {
                 csv_dir = Some(args.next().expect("--csv needs a directory"));
+            }
+            "--trace" => {
+                trace_path = Some(args.next().expect("--trace needs an output path"));
             }
             "--jobs" => {
                 jobs = args
@@ -40,7 +49,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [ids…] [--ablations] [--jobs N] [--csv DIR]\nids: {}\nablations: {}\nperf: {}",
+                    "usage: figures [ids…] [--ablations] [--jobs N] [--csv DIR] [--trace PATH]\nids: {}\nablations: {}\nperf: {}",
                     ALL_FIGS.join(" "),
                     ABLATIONS.join(" "),
                     PERF.join(" ")
@@ -48,6 +57,13 @@ fn main() {
                 return;
             }
             id => ids.push(id.to_string()),
+        }
+    }
+    if let Some(path) = &trace_path {
+        let bytes = tracefigs::export_reference_trace(path).expect("write trace export");
+        println!("wrote {bytes}-byte Chrome trace to {path} (open at https://ui.perfetto.dev)");
+        if ids.is_empty() {
+            return;
         }
     }
     if ids.is_empty() {
@@ -83,17 +99,19 @@ fn main() {
     }
     writeln!(out, "  {:<24} {total:>10.1} ms", "total").unwrap();
     if let Some(dir) = &csv_dir {
-        let mut csv = String::from("figure,wall_ms,jobs\n");
+        let mut csv = format!("{TIMINGS_CSV_HEADER}\n");
         for (id, ms) in &timings {
-            csv.push_str(&format!("{id},{ms:.1},{jobs}\n"));
+            csv.push_str(&timing_row(id, None, jobs, *ms));
+            csv.push('\n');
         }
         // Per-job wall times from sweep generators that measure their
         // individual simulations (`FigData::job_wall_ms`), as
         // `<figure>:<job>` rows — the cost-skew data behind
-        // largest-first scheduling.
+        // largest-first scheduling. Same helper, same shape.
         for (id, per_job) in &job_timings {
             for (label, ms) in per_job {
-                csv.push_str(&format!("{id}:{label},{ms:.3},{jobs}\n"));
+                csv.push_str(&timing_row(id, Some(label), jobs, *ms));
+                csv.push('\n');
             }
         }
         std::fs::write(format!("{dir}/timings.csv"), csv).expect("write timings csv");

@@ -123,6 +123,21 @@ impl FigData {
     }
 }
 
+/// Header of the `timings.csv` the `figures` binary writes under
+/// `--csv`. Every row — per-generator summary and per-job detail alike —
+/// comes from [`timing_row`], so the file stays uniform.
+pub const TIMINGS_CSV_HEADER: &str = "figure,jobs,wall_ms";
+
+/// One `timings.csv` row: `<fig>,<jobs>,<wall_ms>` for a generator
+/// summary, `<fig>:<job>,<jobs>,<wall_ms>` for a per-job detail row
+/// (the [`FigData::job_wall_ms`] cost-skew data).
+pub fn timing_row(fig: &str, job: Option<&str>, jobs: usize, wall_ms: f64) -> String {
+    match job {
+        Some(j) => format!("{fig}:{j},{jobs},{wall_ms:.3}"),
+        None => format!("{fig},{jobs},{wall_ms:.3}"),
+    }
+}
+
 /// Format bytes with binary units.
 pub fn human_bytes(b: u64) -> String {
     const U: &[&str] = &["B", "KiB", "MiB", "GiB", "TiB"];
@@ -167,6 +182,17 @@ mod tests {
         let csv = f.to_csv();
         assert!(csv.starts_with("\"a,b\",c"));
         assert!(csv.contains("\"v\"\"1\""));
+    }
+
+    #[test]
+    fn timing_rows_are_uniform() {
+        assert_eq!(timing_row("fig11", None, 4, 12.3456), "fig11,4,12.346");
+        assert_eq!(
+            timing_row("faultfigs", Some("seed7"), 1, 0.5),
+            "faultfigs:seed7,1,0.500"
+        );
+        // Both row shapes parse under the one header.
+        assert_eq!(TIMINGS_CSV_HEADER.split(',').count(), 3);
     }
 
     #[test]

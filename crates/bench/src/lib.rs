@@ -34,7 +34,10 @@
 //! open-loop multi-tenant runtime with seeded Poisson/bursty arrival
 //! streams (rate × tenants × pool capacity, to the saturation knee and
 //! past it) and write the sojourn/utilization baseline to
-//! `BENCH_load.json`.
+//! `BENCH_load.json`, while `tracefigs` / `tracefigs_smoke` attach the
+//! flight recorder to the same scenarios — determinism digests of
+//! link-utilization timelines, a Perfetto-export round trip, and the
+//! zero-cost-when-off overhead cell — and write `BENCH_trace.json`.
 //!
 //! Every sweep-shaped generator takes a `jobs` worker count and fans its
 //! independent simulations out through [`mcag_exec::par_map`]; outputs
@@ -54,6 +57,7 @@ pub mod netfigs;
 pub mod parallel;
 pub mod runtimefigs;
 pub mod simcore;
+pub mod tracefigs;
 
 pub use data::FigData;
 
@@ -79,8 +83,9 @@ pub const ABLATIONS: &[&str] = &[
 /// fork-join sweep executor (`BENCH_parallel.json`), and the seeded
 /// failure sweeps with tail-latency reporting (`BENCH_faults.json`),
 /// and the open-loop latency-vs-offered-load study of the multi-tenant
-/// runtime (`BENCH_load.json`). The unsuffixed ids are the recorded
-/// baselines; `*_smoke` are the bounded CI variants.
+/// runtime (`BENCH_load.json`), and the flight-recorder baselines
+/// (`BENCH_trace.json`). The unsuffixed ids are the recorded baselines;
+/// `*_smoke` are the bounded CI variants.
 pub const PERF: &[&str] = &[
     "simcore",
     "simcore_smoke",
@@ -90,6 +95,8 @@ pub const PERF: &[&str] = &[
     "faultfigs_smoke",
     "loadfigs",
     "loadfigs_smoke",
+    "tracefigs",
+    "tracefigs_smoke",
 ];
 
 /// Run one generator by id, serially (`jobs = 1`).
@@ -129,6 +136,8 @@ pub fn generate_with(id: &str, jobs: usize) -> FigData {
         "simcore_smoke" => simcore::simcore_smoke(),
         "parallel_scaling" => parallel::parallel_scaling(),
         "parallel_scaling_smoke" => parallel::parallel_scaling_smoke(),
+        "tracefigs" => tracefigs::tracefigs(),
+        "tracefigs_smoke" => tracefigs::tracefigs_smoke(),
         other => {
             panic!("unknown figure id {other:?} (known: {ALL_FIGS:?} + {ABLATIONS:?} + {PERF:?})")
         }

@@ -1,0 +1,533 @@
+//! Flight-recorder baselines: determinism digests, Perfetto export
+//! round-trips, and the zero-cost-when-off overhead measurement.
+//!
+//! Four cells:
+//!
+//! * `traced_ag188` — the paper's 188-node UCC-testbed Allgather with a
+//!   recorder attached: event counts (offered / kept / ring-dropped) and
+//!   the FNV digest of the link-utilization timeline, all simulated-time
+//!   integers, byte-stable across hosts.
+//! * `traced_fat_tree_512` — a traced 512-node fat-tree Allgather
+//!   exported as Chrome trace-event JSON and round-tripped through the
+//!   dependency-free parser; the cell pins the export's byte length.
+//! * `runtime_jobs` — an open-loop multi-tenant run traced at `jobs = 1`
+//!   and `jobs = 4`; the cell records the shared report/trace digests
+//!   after asserting the two runs are byte-identical.
+//! * `overhead` (full mode only) — best-of-N interleaved off/on runs of
+//!   the 188-node Allgather against the recorded pre-instrumentation
+//!   anchor, demonstrating that a disabled sink costs one branch.
+//!
+//! The full generator writes `BENCH_trace.json` (checked in; the
+//! overhead block is a wall-clock snapshot from the recording host, like
+//! `BENCH_simcore.json`). `tracefigs_smoke` writes
+//! `BENCH_trace_smoke.json` with `"overhead": null` — every smoke field
+//! is a simulated-time integer or digest, so CI regenerates the file
+//! twice and asserts the bytes match.
+
+use crate::data::FigData;
+use crate::netfigs::sim_mtu_for;
+use mcag_core::{des, CollectiveKind, CollectiveOutcome, ProtocolConfig};
+use mcag_runtime::{JobKind, PoolConfig, Runtime, RuntimeConfig, RuntimeReport, RuntimeTrace};
+use mcag_simnet::{FabricConfig, Topology};
+use mcag_trace::{export_chrome, validate_json, ChromeOptions, LinkTimeline, TraceSpec};
+use mcag_verbs::LinkRate;
+use std::fmt::Write as _;
+
+/// File the full-mode generator writes its machine-readable baseline to
+/// (checked in — the trace subsystem's source of truth).
+pub const BENCH_JSON: &str = "BENCH_trace.json";
+
+/// File the bounded CI smoke writes instead; contains no wall-clock
+/// numbers, so two smoke passes produce byte-identical files.
+pub const BENCH_SMOKE_JSON: &str = "BENCH_trace_smoke.json";
+
+/// Timeline bucketing used by every cell (64 µs of simulated time).
+pub const TIMELINE_WINDOW_NS: u64 = 65_536;
+
+/// Events/sec of the engine on the full-mode `allgather_188` scenario at
+/// the commit *before* the trace instrumentation landed — best of three
+/// runs on the host that produced the checked-in `BENCH_trace.json`.
+/// The "before" anchor of the zero-cost-when-off argument; host-specific
+/// (re-anchor elsewhere via the `TRACEFIGS_PRE_TRACE_EPS` override,
+/// which [`pre_trace_anchor_eps`] prefers).
+pub const PRE_TRACE_AG188_EVENTS_PER_SEC: f64 = 14.0e6;
+
+/// The pre-instrumentation anchor in effect: the `TRACEFIGS_PRE_TRACE_EPS`
+/// environment override when set, else the recorded
+/// [`PRE_TRACE_AG188_EVENTS_PER_SEC`].
+pub fn pre_trace_anchor_eps() -> f64 {
+    std::env::var("TRACEFIGS_PRE_TRACE_EPS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(PRE_TRACE_AG188_EVENTS_PER_SEC)
+}
+
+/// FNV-1a over a string (digest cells for byte-stability checks).
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One traced collective on `topo` with the given recorder spec.
+fn traced_allgather(topo: Topology, send_len: usize, spec: TraceSpec) -> CollectiveOutcome {
+    let mut cfg = FabricConfig::ucc_default();
+    cfg.trace = Some(spec);
+    let proto = ProtocolConfig {
+        mtu: sim_mtu_for(send_len),
+        ..ProtocolConfig::default()
+    };
+    let out = des::run_collective(topo, cfg, proto, CollectiveKind::Allgather, send_len);
+    assert!(out.stats.all_done(), "traced scenario did not complete");
+    out
+}
+
+/// What one traced collective contributes to the baseline.
+struct TracedCell {
+    name: &'static str,
+    events_offered: u64,
+    events_kept: usize,
+    events_dropped: u64,
+    sim_ns: u64,
+    timeline_digest: u64,
+    busiest_link: u32,
+    busiest_busy_ns: u64,
+}
+
+fn traced_cell(name: &'static str, topo: Topology, send_len: usize) -> TracedCell {
+    let num_links = topo.num_links();
+    let mut out = traced_allgather(topo, send_len, TraceSpec::default());
+    let sink = out.trace.take().expect("tracing was enabled");
+    let (offered, kept) = (sink.offered(), sink.len());
+    let dropped = sink.dropped();
+    let (events, _) = sink.into_ordered();
+    let sim_ns = out.completion_ns();
+    let tl = LinkTimeline::build(&events, num_links, TIMELINE_WINDOW_NS, sim_ns);
+    let (busiest_link, busiest_busy_ns) = tl.busiest(1).first().copied().unwrap_or((0, 0));
+    TracedCell {
+        name,
+        events_offered: offered,
+        events_kept: kept,
+        events_dropped: dropped,
+        sim_ns,
+        timeline_digest: tl.digest(),
+        busiest_link: busiest_link as u32,
+        busiest_busy_ns,
+    }
+}
+
+/// Export a traced 512-node fat-tree Allgather as a Chrome trace-event
+/// JSON document (already round-tripped through [`validate_json`]).
+/// Shared by the generator cell, the `figures --trace <path>` flag, and
+/// CI's Perfetto-artifact step.
+pub fn reference_chrome_trace() -> String {
+    let topo = Topology::fat_tree_512(LinkRate::NDR_400G);
+    let link_names: Vec<String> = (0..topo.num_links()).map(|l| format!("link{l}")).collect();
+    let out = traced_allgather(topo, 8 << 10, TraceSpec::default());
+    let sink = out.trace.expect("tracing was enabled");
+    let (events, dropped) = sink.into_ordered();
+    let tr = RuntimeTrace::from_fabric(events, dropped);
+    let doc = export_chrome(
+        &tr,
+        &ChromeOptions {
+            link_names,
+            tenant_names: Vec::new(),
+        },
+    );
+    validate_json(&doc).expect("chrome export must round-trip the JSON parser");
+    doc
+}
+
+/// Write the reference Chrome trace to `path`; returns the byte length.
+pub fn export_reference_trace(path: &str) -> std::io::Result<usize> {
+    let doc = reference_chrome_trace();
+    std::fs::write(path, &doc)?;
+    Ok(doc.len())
+}
+
+/// A small open-loop multi-tenant scenario traced end to end.
+fn traced_runtime(jobs: usize) -> (RuntimeReport, RuntimeTrace) {
+    let cfg = RuntimeConfig {
+        pool: PoolConfig::with_capacity(6),
+        max_inflight: 2,
+        partitions: 2,
+        trace: Some(TraceSpec::default()),
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(Topology::single_switch(8, LinkRate::CX3_56G, 100), cfg);
+    let tenants: Vec<_> = (0..3)
+        .map(|i| rt.register_tenant(&format!("t{i}")))
+        .collect();
+    for (i, &t) in tenants.iter().enumerate() {
+        for j in 0..2u64 {
+            rt.submit_at(j * 400_000, t, JobKind::Allgather, (8 << 10) << (i % 2));
+        }
+    }
+    let report = rt.run_open_loop_jobs(jobs);
+    let trace = rt.take_trace().expect("tracing was enabled");
+    (report, trace)
+}
+
+struct RuntimeCell {
+    report_digest: u64,
+    trace_digest: u64,
+    fabric_events: usize,
+    batch_spans: usize,
+    job_spans: usize,
+}
+
+fn runtime_cell() -> RuntimeCell {
+    let (r1, t1) = traced_runtime(1);
+    let (r4, t4) = traced_runtime(4);
+    assert_eq!(r1, r4, "open-loop report must not depend on worker count");
+    assert_eq!(t1, t4, "trace must not depend on worker count");
+    let report_digest = fnv(&format!("{r1:?}"));
+    let trace_digest = fnv(&format!("{t1:?}"));
+    assert_eq!(report_digest, fnv(&format!("{r4:?}")));
+    assert_eq!(trace_digest, fnv(&format!("{t4:?}")));
+    RuntimeCell {
+        report_digest,
+        trace_digest,
+        fabric_events: t1.fabric.len(),
+        batch_spans: t1.batches.len(),
+        job_spans: t1.jobs.len(),
+    }
+}
+
+/// Best-of-N interleaved off/on overhead measurement (full mode only —
+/// wall clock, recorded as a snapshot from the baseline host).
+struct Overhead {
+    runs_each: u32,
+    events: u64,
+    off_eps: f64,
+    on_eps: f64,
+}
+
+impl Overhead {
+    /// Events/sec penalty of running with the recorder attached.
+    fn on_overhead_pct(&self) -> f64 {
+        (1.0 - self.on_eps / self.off_eps) * 100.0
+    }
+
+    /// Regression of the instrumented-but-disabled build against the
+    /// pre-instrumentation anchor (negative = faster than the anchor).
+    fn off_vs_anchor_pct(&self) -> f64 {
+        (1.0 - self.off_eps / pre_trace_anchor_eps()) * 100.0
+    }
+}
+
+fn measure_overhead(send_len: usize, runs_each: u32) -> Overhead {
+    let proto = ProtocolConfig {
+        mtu: sim_mtu_for(send_len),
+        ..ProtocolConfig::default()
+    };
+    let run = |traced: bool| -> (u64, f64) {
+        let mut cfg = FabricConfig::ucc_default();
+        cfg.trace = traced.then(TraceSpec::default);
+        let out = des::run_collective(
+            Topology::ucc_testbed(),
+            cfg,
+            proto,
+            CollectiveKind::Allgather,
+            send_len,
+        );
+        assert!(out.stats.all_done());
+        (out.stats.events, out.stats.events_per_sec())
+    };
+    let (mut off_eps, mut on_eps) = (0.0f64, 0.0f64);
+    let mut events = 0u64;
+    // Interleave off/on so slow host intervals hit both sides equally;
+    // best-of-N discards scheduler noise (this is a throughput bound).
+    for _ in 0..runs_each {
+        let (ev_off, eps_off) = run(false);
+        let (ev_on, eps_on) = run(true);
+        assert_eq!(
+            ev_off, ev_on,
+            "tracing must not change the event stream, only observe it"
+        );
+        events = ev_off;
+        off_eps = off_eps.max(eps_off);
+        on_eps = on_eps.max(eps_on);
+    }
+    let oh = Overhead {
+        runs_each,
+        events,
+        off_eps,
+        on_eps,
+    };
+    // Catastrophic-slowdown guard only: wall clock on shared CI hosts is
+    // too noisy for a hard 2% gate, so the precise numbers live in the
+    // checked-in BENCH_trace.json snapshot instead.
+    assert!(
+        oh.off_eps > 0.2 * pre_trace_anchor_eps(),
+        "disabled-sink run collapsed to {:.1}M events/sec",
+        oh.off_eps / 1e6
+    );
+    oh
+}
+
+fn tracefigs_with(mode: &str, n188: usize, n512: usize) -> FigData {
+    let json_path = if mode == "full" {
+        BENCH_JSON
+    } else {
+        BENCH_SMOKE_JSON
+    };
+    let cells = [
+        traced_cell("traced_ag188", Topology::ucc_testbed(), n188),
+        traced_cell(
+            "traced_fat_tree_512",
+            Topology::fat_tree_512(LinkRate::NDR_400G),
+            n512,
+        ),
+    ];
+    let chrome = reference_chrome_trace();
+    let chrome_digest = fnv(&chrome);
+    let rt = runtime_cell();
+    let overhead = (mode == "full").then(|| measure_overhead(n188, 5));
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let mut f = FigData::new(
+        "tracefigs",
+        "Flight recorder: determinism digests, Perfetto export, zero-cost-when-off",
+        &["cell", "events", "kept", "dropped", "digest", "detail"],
+    );
+    for c in &cells {
+        f.row(vec![
+            c.name.into(),
+            c.events_offered.to_string(),
+            c.events_kept.to_string(),
+            c.events_dropped.to_string(),
+            format!("{:016x}", c.timeline_digest),
+            format!(
+                "busiest link {} busy {} ns of {} ns",
+                c.busiest_link, c.busiest_busy_ns, c.sim_ns
+            ),
+        ]);
+    }
+    f.row(vec![
+        "chrome_export".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        format!("{chrome_digest:016x}"),
+        format!("{} bytes, JSON round-trip ok", chrome.len()),
+    ]);
+    f.row(vec![
+        "runtime_jobs".into(),
+        rt.fabric_events.to_string(),
+        rt.batch_spans.to_string(),
+        rt.job_spans.to_string(),
+        format!("{:016x}", rt.trace_digest),
+        format!("jobs=1 == jobs=4; report digest {:016x}", rt.report_digest),
+    ]);
+    if let Some(oh) = &overhead {
+        f.row(vec![
+            "overhead".into(),
+            oh.events.to_string(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!(
+                "off {:.1}M on {:.1}M ev/s (+{:.2}% traced; off vs anchor {:+.2}%)",
+                oh.off_eps / 1e6,
+                oh.on_eps / 1e6,
+                oh.on_overhead_pct(),
+                oh.off_vs_anchor_pct()
+            ),
+        ]);
+    }
+    f.note(format!(
+        "mode={mode}; ring capacity {} events, timeline window {TIMELINE_WINDOW_NS} ns",
+        TraceSpec::DEFAULT_CAPACITY
+    ));
+    f.note("digests and event counts are simulated-time integers: byte-stable across hosts");
+    if overhead.is_some() {
+        f.note(format!(
+            "overhead is wall clock from the baseline host (pre-trace anchor {:.1}M ev/s)",
+            pre_trace_anchor_eps() / 1e6
+        ));
+    }
+    f.note(format!("machine-readable baseline written to {json_path}"));
+
+    let json = render_json(
+        mode,
+        host_parallelism,
+        &cells,
+        chrome.len(),
+        chrome_digest,
+        &rt,
+        overhead.as_ref(),
+    );
+    validate_json(&json).expect("baseline JSON must parse");
+    if let Err(e) = std::fs::write(json_path, &json) {
+        f.note(format!("could not write {json_path}: {e}"));
+    }
+    f
+}
+
+/// Hand-rolled JSON (the offline serde shim has no serializer).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    mode: &str,
+    host_parallelism: usize,
+    cells: &[TracedCell],
+    chrome_bytes: usize,
+    chrome_digest: u64,
+    rt: &RuntimeCell,
+    overhead: Option<&Overhead>,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"generator\": \"figures tracefigs\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(s, "  \"ring_capacity\": {},", TraceSpec::DEFAULT_CAPACITY);
+    let _ = writeln!(s, "  \"timeline_window_ns\": {TIMELINE_WINDOW_NS},");
+    let _ = writeln!(s, "  \"scenarios\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", c.name);
+        let _ = writeln!(s, "      \"events_offered\": {},", c.events_offered);
+        let _ = writeln!(s, "      \"events_kept\": {},", c.events_kept);
+        let _ = writeln!(s, "      \"events_dropped\": {},", c.events_dropped);
+        let _ = writeln!(s, "      \"sim_time_ns\": {},", c.sim_ns);
+        let _ = writeln!(
+            s,
+            "      \"timeline_digest\": \"{:016x}\",",
+            c.timeline_digest
+        );
+        let _ = writeln!(s, "      \"busiest_link\": {},", c.busiest_link);
+        let _ = writeln!(s, "      \"busiest_busy_ns\": {}", c.busiest_busy_ns);
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"chrome_export\": {{");
+    let _ = writeln!(s, "    \"scenario\": \"traced fat_tree_512 allgather\",");
+    let _ = writeln!(s, "    \"bytes\": {chrome_bytes},");
+    let _ = writeln!(s, "    \"digest\": \"{chrome_digest:016x}\",");
+    let _ = writeln!(s, "    \"json_round_trip\": true");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"runtime_jobs\": {{");
+    let _ = writeln!(s, "    \"jobs_compared\": [1, 4],");
+    let _ = writeln!(s, "    \"identical\": true,");
+    let _ = writeln!(s, "    \"report_digest\": \"{:016x}\",", rt.report_digest);
+    let _ = writeln!(s, "    \"trace_digest\": \"{:016x}\",", rt.trace_digest);
+    let _ = writeln!(s, "    \"fabric_events\": {},", rt.fabric_events);
+    let _ = writeln!(s, "    \"batch_spans\": {},", rt.batch_spans);
+    let _ = writeln!(s, "    \"job_spans\": {}", rt.job_spans);
+    let _ = writeln!(s, "  }},");
+    match overhead {
+        Some(oh) => {
+            let _ = writeln!(s, "  \"overhead\": {{");
+            let _ = writeln!(s, "    \"scenario\": \"allgather_188\",");
+            let _ = writeln!(s, "    \"runs_each\": {},", oh.runs_each);
+            let _ = writeln!(s, "    \"events\": {},", oh.events);
+            let _ = writeln!(s, "    \"off_events_per_sec\": {:.0},", oh.off_eps);
+            let _ = writeln!(s, "    \"on_events_per_sec\": {:.0},", oh.on_eps);
+            let _ = writeln!(s, "    \"on_overhead_pct\": {:.2},", oh.on_overhead_pct());
+            let _ = writeln!(
+                s,
+                "    \"pre_trace_anchor_eps\": {:.0},",
+                pre_trace_anchor_eps()
+            );
+            let _ = writeln!(
+                s,
+                "    \"off_vs_anchor_pct\": {:.2}",
+                oh.off_vs_anchor_pct()
+            );
+            let _ = writeln!(s, "  }}");
+        }
+        None => {
+            let _ = writeln!(s, "  \"overhead\": null");
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Full flight-recorder suite (the recorded baseline).
+pub fn tracefigs() -> FigData {
+    tracefigs_with("full", 256 << 10, 64 << 10)
+}
+
+/// Bounded CI smoke: same cells at smaller messages, no wall-clock
+/// fields, written to [`BENCH_SMOKE_JSON`] — regenerate twice and the
+/// bytes must match.
+pub fn tracefigs_smoke() -> FigData {
+    tracefigs_with("smoke", 32 << 10, 8 << 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traced_cell_is_deterministic() {
+        let topo = || Topology::single_switch(8, LinkRate::CX3_56G, 100);
+        let a = traced_cell("x", topo(), 16 << 10);
+        let b = traced_cell("x", topo(), 16 << 10);
+        assert!(a.events_offered > 0);
+        assert_eq!(a.events_offered, b.events_offered);
+        assert_eq!(a.timeline_digest, b.timeline_digest);
+        assert_eq!(a.busiest_busy_ns, b.busiest_busy_ns);
+    }
+
+    #[test]
+    fn tracing_leaves_results_untouched() {
+        let topo = || Topology::single_switch(8, LinkRate::CX3_56G, 100);
+        let mut plain_cfg = FabricConfig::ucc_default();
+        let traced = traced_allgather(topo(), 16 << 10, TraceSpec::default());
+        plain_cfg.trace = None;
+        let plain = des::run_collective(
+            topo(),
+            plain_cfg,
+            ProtocolConfig {
+                mtu: sim_mtu_for(16 << 10),
+                ..ProtocolConfig::default()
+            },
+            CollectiveKind::Allgather,
+            16 << 10,
+        );
+        assert_eq!(traced.stats.events, plain.stats.events);
+        assert_eq!(traced.completion_ns(), plain.completion_ns());
+        // Compare the deterministic counters only — `TrafficReport` also
+        // carries host wall clock, which legitimately differs per run.
+        assert_eq!(
+            format!("{:?}", traced.traffic.per_link()),
+            format!("{:?}", plain.traffic.per_link())
+        );
+        assert_eq!(traced.traffic.rnr_per_rank(), plain.traffic.rnr_per_rank());
+    }
+
+    #[test]
+    fn runtime_cell_matches_across_workers() {
+        let rt = runtime_cell();
+        assert!(rt.fabric_events > 0);
+        assert_eq!(rt.job_spans, 6);
+        assert!(rt.batch_spans >= 1);
+    }
+
+    #[test]
+    fn smoke_json_is_byte_stable() {
+        let topo = || Topology::single_switch(8, LinkRate::CX3_56G, 100);
+        let mk = || {
+            let cells = [traced_cell("c", topo(), 8 << 10)];
+            let rt = RuntimeCell {
+                report_digest: 1,
+                trace_digest: 2,
+                fabric_events: 3,
+                batch_spans: 4,
+                job_spans: 5,
+            };
+            render_json("smoke", 1, &cells, 10, 0xabc, &rt, None)
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a, b);
+        validate_json(&a).expect("well-formed baseline JSON");
+    }
+}

@@ -9,7 +9,7 @@ use crate::plan::{CollectiveKind, CollectivePlan};
 use crate::protocol::{McastRankApp, QpLayout, RankTiming};
 use crate::ProtocolConfig;
 use mcag_simnet::fabric::RunStats;
-use mcag_simnet::{Fabric, FabricConfig, SimTime, Topology, TrafficReport};
+use mcag_simnet::{Fabric, FabricConfig, SimTime, Topology, TraceSink, TrafficReport};
 use mcag_verbs::{CollectiveId, Rank, Transport};
 use std::sync::Arc;
 
@@ -66,6 +66,9 @@ pub struct CollectiveOutcome {
     pub cutoff_ns: u64,
     /// The watchdog deadline the run was bounded by.
     pub deadline: SimTime,
+    /// The harvested flight recorder (`Some` iff the fabric config
+    /// carried a `TraceSpec`).
+    pub trace: Option<TraceSink>,
 }
 
 impl CollectiveOutcome {
@@ -265,6 +268,7 @@ pub fn run_collective_bounded(
         .iter()
         .map(|&r| fab.take_app_as::<McastRankApp>(r).timing())
         .collect();
+    let trace = fab.take_trace();
     CollectiveOutcome {
         plan,
         timings,
@@ -274,6 +278,7 @@ pub fn run_collective_bounded(
         fabric_drops: drops,
         cutoff_ns: cutoff,
         deadline: watchdog,
+        trace,
     }
 }
 

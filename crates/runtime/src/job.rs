@@ -100,6 +100,22 @@ pub enum RejectReason {
     Throttled,
 }
 
+impl RejectReason {
+    /// Short kebab-case label (trace markers, CSV columns).
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::UnknownTenant => "unknown-tenant",
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::TenantQuota => "tenant-quota",
+            RejectReason::TooLarge => "too-large",
+            RejectReason::Empty => "empty",
+            RejectReason::InvalidRoot => "invalid-root",
+            RejectReason::GroupDemand => "group-demand",
+            RejectReason::Throttled => "throttled",
+        }
+    }
+}
+
 impl fmt::Display for RejectReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

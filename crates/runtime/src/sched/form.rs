@@ -139,6 +139,10 @@ impl Runtime {
         let mut fabric = self.cfg.fabric.clone();
         fabric.seed = self.cfg.fabric.seed.wrapping_add(index);
         fabric.mcast_table_capacity = Some(self.pool.capacity());
+        // Batch-fabric tracing is governed by the runtime's spec: each
+        // batch records into its own sink on its local clock, and the
+        // merge phase shifts the events onto the virtual timeline.
+        fabric.trace = self.cfg.trace.clone();
         let plans = picked
             .iter()
             .enumerate()

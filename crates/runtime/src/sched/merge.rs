@@ -13,6 +13,7 @@ use super::form::FormedBatch;
 use super::sim::{delivered_bytes, BatchOutcome};
 use super::{BatchReport, Runtime};
 use crate::stats::JobRecord;
+use mcag_trace::{BatchSpan, JobSpan};
 
 impl Runtime {
     /// Commit one simulated batch at virtual time `batch_start`,
@@ -69,11 +70,42 @@ impl Runtime {
             // integer arithmetic, updated in commit order, so it is as
             // deterministic as the records themselves.
             self.sojourn_ewma_ns = (3 * self.sojourn_ewma_ns + rec.latency_ns()) / 4;
+            if let Some(tr) = self.trace.as_mut() {
+                tr.jobs.push(JobSpan {
+                    job: rec.id.0,
+                    tenant: rec.tenant.0,
+                    partition,
+                    batch: index,
+                    submitted_ns: rec.submitted_ns,
+                    started_ns: rec.started_ns,
+                    finished_ns: rec.finished_ns,
+                    pool_hits: group_hits,
+                    pool_builds: group_builds,
+                    pool_rebuilds: group_rebuilds,
+                });
+            }
             job_ids.push(job.id);
             self.records.push(rec);
         }
 
         let done_ns = dispatch_ns + outcome.batch_ns;
+        if let Some(tr) = self.trace.as_mut() {
+            // Merge runs in commit order, so both the span list and the
+            // absorbed fabric events land deterministically for every
+            // worker count.
+            if let Some(sink) = outcome.trace {
+                let (events, dropped) = sink.into_ordered();
+                tr.absorb_fabric(events, dropped, dispatch_ns);
+            }
+            tr.batches.push(BatchSpan {
+                batch: index,
+                partition,
+                jobs: job_ids.len() as u32,
+                start_ns: batch_start,
+                setup_ns,
+                end_ns: done_ns,
+            });
+        }
         self.now_ns = self.now_ns.max(done_ns);
         self.batches += 1;
         let ps = &mut self.partition_stats[partition as usize];

@@ -59,6 +59,7 @@ use form::{FormMode, FormedBatch};
 use mcag_core::ProtocolConfig;
 use mcag_exec::par_map;
 use mcag_simnet::{FabricConfig, Topology};
+use mcag_trace::{Marker, RuntimeTrace, TraceSpec};
 use sim::{simulate_batch, BatchOutcome};
 use std::collections::BTreeSet;
 
@@ -83,6 +84,13 @@ pub struct RuntimeConfig {
     /// may run batches on concurrently — the cross-batch pipelining
     /// width. The closed-loop drivers always run on partition 0.
     pub partitions: usize,
+    /// Flight-recorder spec: `Some` records batch/job spans and
+    /// admission markers in the runtime, and threads the same spec into
+    /// every batch fabric (overriding `fabric.trace`), whose packet
+    /// events are merged onto the virtual clock in commit order. Harvest
+    /// with [`Runtime::take_trace`]. `None` (the default) records
+    /// nothing and adds one branch per would-be record.
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for RuntimeConfig {
@@ -94,6 +102,7 @@ impl Default for RuntimeConfig {
             admission: AdmissionPolicy::default(),
             max_inflight: 8,
             partitions: 1,
+            trace: None,
         }
     }
 }
@@ -154,6 +163,8 @@ pub struct Runtime {
     /// Submission attempts (admitted + rejected).
     offered: u64,
     rejects: RejectCounts,
+    /// Accumulating trace document (`Some` iff `cfg.trace` is).
+    trace: Option<RuntimeTrace>,
 }
 
 impl Runtime {
@@ -164,6 +175,7 @@ impl Runtime {
         assert!(cfg.partitions >= 1, "need at least one fabric partition");
         let pool = McastGroupPool::new(cfg.pool);
         let partition_stats = vec![PartitionStats::default(); cfg.partitions];
+        let trace = cfg.trace.as_ref().map(|_| RuntimeTrace::default());
         Runtime {
             topo,
             cfg,
@@ -184,6 +196,7 @@ impl Runtime {
             sojourn_ewma_ns: 0,
             offered: 0,
             rejects: RejectCounts::default(),
+            trace,
         }
     }
 
@@ -282,11 +295,13 @@ impl Runtime {
         self.offered += 1;
         if a.tenant.idx() >= self.tenants.len() {
             self.rejects.count(RejectReason::UnknownTenant);
+            self.mark_reject(&a, RejectReason::UnknownTenant);
             return Err(RejectReason::UnknownTenant);
         }
         if let Err(reason) = self.admission_check(a.tenant, a.kind, a.send_len) {
             self.rejects.count(reason);
             self.tenants[a.tenant.idx()].rejected += 1;
+            self.mark_reject(&a, reason);
             return Err(reason);
         }
         let id = JobId(self.next_job);
@@ -303,6 +318,18 @@ impl Runtime {
         });
         self.tenants[a.tenant.idx()].submitted += 1;
         Ok(id)
+    }
+
+    /// Record a refusal as a trace marker (throttle refusals carry the
+    /// `"throttled"` reason).
+    fn mark_reject(&mut self, a: &Arrival, reason: RejectReason) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.markers.push(Marker {
+                at_ns: a.arrival_ns,
+                tenant: a.tenant.0,
+                reason: reason.label(),
+            });
+        }
     }
 
     fn admission_check(
@@ -512,6 +539,15 @@ impl Runtime {
             let start = infl.formed.started_ns;
             self.merge_batch(infl.formed, infl.outcome, start);
         }
+    }
+
+    /// Remove and return the accumulated trace, normalized (fabric
+    /// events stable-sorted into virtual-time order). `None` when
+    /// tracing is off — or already harvested; call once, after the run.
+    pub fn take_trace(&mut self) -> Option<RuntimeTrace> {
+        let mut tr = self.trace.take()?;
+        tr.normalize();
+        Some(tr)
     }
 
     /// Snapshot of everything measured so far.

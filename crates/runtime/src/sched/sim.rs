@@ -10,7 +10,7 @@ use crate::mux::{SlotApp, TenantMuxApp};
 use mcag_core::protocol::QpLayout;
 use mcag_core::ProtocolConfig;
 use mcag_core::{des, CollectivePlan, ControlMsg, IncRsApp, McastRankApp};
-use mcag_simnet::{Fabric, FabricConfig, SimTime, Topology};
+use mcag_simnet::{Fabric, FabricConfig, SimTime, Topology, TraceSink};
 use mcag_verbs::{CollectiveId, McastGroupId, Rank, Transport};
 use std::sync::Arc;
 
@@ -39,6 +39,9 @@ pub(super) struct BatchOutcome {
     pub(super) slot_done_ns: Vec<u64>,
     /// Payload bytes moved across fabric links (switch-counter view).
     pub(super) moved_bytes: u64,
+    /// The batch fabric's harvested flight recorder (events on the
+    /// batch's local clock; the merge phase shifts them).
+    pub(super) trace: Option<TraceSink>,
 }
 
 /// Run one formed batch on a fresh fabric to quiescence and harvest
@@ -161,6 +164,7 @@ pub(super) fn simulate_batch(sim: &BatchSim) -> BatchOutcome {
         batch_ns: stats.end_time.as_ns(),
         slot_done_ns,
         moved_bytes,
+        trace: fab.take_trace(),
     }
 }
 

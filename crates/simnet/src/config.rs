@@ -2,6 +2,7 @@
 
 use crate::event::QueueBackend;
 use crate::linkstate::LinkSchedule;
+use mcag_trace::TraceSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -117,6 +118,11 @@ pub struct FabricConfig {
     /// compiled form of a `mcag-faults` `FaultPlan`; empty means a
     /// healthy fabric and adds no per-packet work.
     pub faults: LinkSchedule,
+    /// Flight-recorder spec: `Some` allocates a bounded `TraceSink` ring
+    /// that records packet lifecycle, link busy intervals, fault
+    /// transitions, and sampled queue depth on the simulated clock.
+    /// `None` (the default) costs one branch per would-be record.
+    pub trace: Option<TraceSpec>,
 }
 
 impl FabricConfig {
@@ -132,6 +138,7 @@ impl FabricConfig {
             mcast_table_capacity: None,
             event_queue: QueueBackend::default(),
             faults: LinkSchedule::empty(),
+            trace: None,
         }
     }
 

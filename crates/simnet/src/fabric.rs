@@ -34,6 +34,7 @@ use crate::mcast::McastTree;
 use crate::routing::{self, descend, RouteMode};
 use crate::time::SimTime;
 use crate::topology::{LinkId, NodeId, NodeKind, Topology};
+use mcag_trace::{DropCause, TraceEvent, TraceSink};
 use mcag_verbs::wire::{Destination, PacketHeader, PacketKind};
 use mcag_verbs::{CompletionStatus, Cqe, CqeOpcode, ImmData, McastGroupId, QpNum, Rank, Transport};
 use rand::rngs::StdRng;
@@ -208,6 +209,10 @@ pub struct Inner<M> {
     /// In-flight packet slab + free list: `PktRef` handles index here.
     pkt_slab: Vec<Option<SlabEntry<M>>>,
     free_pkts: Vec<u32>,
+    /// Flight recorder, allocated iff `cfg.trace` is `Some` — every
+    /// record site is gated on this `Option`, so a disabled recorder
+    /// costs one branch (the same pattern as `has_faults`).
+    trace: Option<TraceSink>,
     /// Cumulative wall-clock ns spent inside the event loop.
     run_wall_ns: u64,
 }
@@ -286,6 +291,7 @@ impl<M: Clone + 'static> Fabric<M> {
         // scheduled before any protocol event, so a transition and a
         // same-instant transmission resolve in schedule-first order —
         // part of the determinism contract.
+        let trace = cfg.trace.clone().map(TraceSink::new);
         let has_faults = !cfg.faults.is_empty();
         let link_fault = if has_faults {
             for (i, ev) in cfg.faults.events().iter().enumerate() {
@@ -319,6 +325,7 @@ impl<M: Clone + 'static> Fabric<M> {
                 scratch_links: Vec::new(),
                 pkt_slab: Vec::new(),
                 free_pkts: Vec::new(),
+                trace,
                 run_wall_ns: 0,
             },
             apps: (0..n).map(|_| None).collect(),
@@ -420,6 +427,18 @@ impl<M: Clone + 'static> Fabric<M> {
             .unwrap_or_else(|_| panic!("app at {rank} is not a {}", std::any::type_name::<A>()))
     }
 
+    /// The live flight recorder (`None` when `cfg.trace` was `None`).
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.inner.trace.as_ref()
+    }
+
+    /// Remove and return the flight recorder — the trace analogue of the
+    /// [`Fabric::take_app`] harvest step; drivers take the sink after the
+    /// run and hand its events to `mcag-trace` for merging/export.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.inner.trace.take()
+    }
+
     /// Run to completion: starts every app, then processes events until
     /// all ranks are done (or the queue empties / the event cap trips).
     pub fn run(&mut self) -> RunStats {
@@ -432,6 +451,13 @@ impl<M: Clone + 'static> Fabric<M> {
     /// [`RunStats::all_done`] and continue with a later deadline.
     pub fn run_until(&mut self, deadline: SimTime) -> RunStats {
         let wall_start = std::time::Instant::now();
+        // Queue-depth sampling period; 0 (tracing off or sampling
+        // disabled) reduces the per-event tracing cost to one compare.
+        let sample_every = self
+            .inner
+            .trace
+            .as_ref()
+            .map_or(0, |t| t.spec().queue_sample_every);
         let n = self.inner.num_ranks();
         if !self.started {
             self.started = true;
@@ -450,6 +476,12 @@ impl<M: Clone + 'static> Fabric<M> {
                 break; // quiescent or past the deadline; caller inspects stats
             };
             self.dispatch(ev);
+            if sample_every != 0 && self.inner.q.processed().is_multiple_of(sample_every) {
+                let (at_ns, depth) = (self.inner.q.now().as_ns(), self.inner.q.len() as u32);
+                if let Some(t) = self.inner.trace.as_mut() {
+                    t.record(TraceEvent::QueueDepth { at_ns, depth });
+                }
+            }
         }
         self.inner.run_wall_ns += wall_start.elapsed().as_nanos() as u64;
         RunStats {
@@ -596,6 +628,13 @@ impl<M: Clone + 'static> Inner<M> {
             since: now,
             next_up_ns: if ev.up { now.as_ns() } else { next_up },
         };
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::Fault {
+                at_ns: now.as_ns(),
+                link: li as u32,
+                up: ev.up,
+            });
+        }
     }
 
     /// Per-link counters with any open downtime/degraded interval closed
@@ -971,6 +1010,15 @@ impl<M: Clone + 'static> Inner<M> {
         let start = now.max(self.link_busy[uplink.idx()]);
         let tx_gap = ser.max(self.cfg.host.tx_post_overhead_ns);
         self.link_busy[uplink.idx()] = start + ser;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::Inject {
+                start_ns: start.as_ns(),
+                ser_ns: ser,
+                link: uplink.idx() as u32,
+                src: rank.0,
+                bytes: wire as u32,
+            });
+        }
         let free_at = start + tx_gap;
         let nic = &mut self.nics[rank.idx()];
         nic.tx_free_at = free_at;
@@ -1019,6 +1067,13 @@ impl<M: Clone + 'static> Inner<M> {
             let p = self.cfg.drops.fabric_drop_prob;
             if self.rng.random_bool(p) {
                 self.counters[link.idx()].drops += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(TraceEvent::Drop {
+                        at_ns: self.q.now().as_ns(),
+                        link: link.idx() as u32,
+                        cause: DropCause::Corruption,
+                    });
+                }
                 return false;
             }
         }
@@ -1171,6 +1226,13 @@ impl<M: Clone + 'static> Inner<M> {
                     not_before = SimTime(st.next_up_ns);
                 } else {
                     self.counters[out.idx()].fault_drops += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent::Drop {
+                            at_ns: now.as_ns(),
+                            link: out.idx() as u32,
+                            cause: DropCause::FaultDown,
+                        });
+                    }
                     return self.release_pkt(pr);
                 }
             }
@@ -1180,6 +1242,14 @@ impl<M: Clone + 'static> Inner<M> {
             .max(self.link_busy[out.idx()])
             .max(not_before);
         self.link_busy[out.idx()] = start + ser;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent::Egress {
+                start_ns: start.as_ns(),
+                ser_ns: ser,
+                link: out.idx() as u32,
+                bytes: wire as u32,
+            });
+        }
         if self.count_and_maybe_drop(out, wire, kind, payload_len, reliable) {
             self.q.schedule_at(
                 start + ser + link.prop_delay_ns,
@@ -1268,6 +1338,13 @@ impl<M: Clone + 'static> Inner<M> {
                 if self.cfg.drops.forced.contains(&key) {
                     // Account as a drop on the final delivery link.
                     self.counters[_in_link.idx()].drops += 1;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record(TraceEvent::Drop {
+                            at_ns: self.q.now().as_ns(),
+                            link: _in_link.idx() as u32,
+                            cause: DropCause::Forced,
+                        });
+                    }
                     return self.release_pkt(pr);
                 }
             }
@@ -1277,6 +1354,13 @@ impl<M: Clone + 'static> Inner<M> {
             let qp = &mut self.nics[rank.idx()].qps[qp_idx];
             if qp.rq_avail == 0 {
                 self.nics[rank.idx()].rnr_drops += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(TraceEvent::Drop {
+                        at_ns: self.q.now().as_ns(),
+                        link: _in_link.idx() as u32,
+                        cause: DropCause::Rnr,
+                    });
+                }
                 return self.release_pkt(pr);
             }
             qp.rq_avail -= 1;
@@ -1295,6 +1379,18 @@ impl<M: Clone + 'static> Inner<M> {
         let start = visible.max(nic.workers[worker]);
         let done = start + self.cfg.host.rx_proc_ns_per_cqe;
         nic.workers[worker] = done;
+        if self.trace.is_some() {
+            // The extra slab read for `bytes` happens only when tracing.
+            let bytes = self.pkt(pr).header.payload_len as u32;
+            if let Some(t) = self.trace.as_mut() {
+                t.record(TraceEvent::Deliver {
+                    at_ns: done.as_ns(),
+                    rank: rank.0,
+                    qp: qp_idx as u32,
+                    bytes,
+                });
+            }
+        }
         self.q.schedule_at(
             done,
             Ev::CqeDone {

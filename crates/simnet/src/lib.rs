@@ -48,6 +48,7 @@ pub use counters::{LinkCounters, TrafficReport};
 pub use event::{EventQueue, QueueBackend};
 pub use fabric::Fabric;
 pub use linkstate::{LinkSchedule, LinkStateEvent};
+pub use mcag_trace::{TraceEvent, TraceSink, TraceSpec};
 pub use mcast::McastTree;
 pub use time::SimTime;
 pub use topology::{LinkId, NodeId, NodeKind, Topology};

@@ -1,0 +1,479 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `chrome://tracing` open directly) plus a dependency-free JSON
+//! validator for round-trip tests.
+//!
+//! Layout of the exported document:
+//!
+//! * **pid 1 "fabric links"** — one track (tid) per directed link;
+//!   `Inject`/`Egress` busy intervals as complete (`"X"`) slices, drops
+//!   and fault transitions as instants (`"i"`).
+//! * **pid 2 "engine"** — `Deliver` instants per rank and the sampled
+//!   event-queue depth as a counter (`"C"`) series.
+//! * **pid 3 "scheduler"** — one track per fabric partition; batch
+//!   lifecycle slices.
+//! * **pid 4 "tenants"** — one track per tenant; job execution slices,
+//!   with flow arrows (`"s"`/`"f"`) from submit to dispatch so queueing
+//!   is visible, and admission-reject instants.
+//!
+//! Timestamps are simulated nanoseconds rendered as microseconds with
+//! integer math (`ns/1000 . ns%1000`), so the export is byte-identical
+//! across hosts.
+
+use crate::event::TraceEvent;
+use crate::span::RuntimeTrace;
+
+/// Optional display names for the export. Indexes are link / tenant ids;
+/// anything beyond the provided names falls back to a numeric label.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeOptions {
+    /// `link_names[link]` labels that link's track.
+    pub link_names: Vec<String>,
+    /// `tenant_names[tenant]` labels that tenant's track.
+    pub tenant_names: Vec<String>,
+}
+
+/// Simulated nanoseconds as a Chrome `ts`/`dur` microsecond value,
+/// integer math only (`123456` ns → `"123.456"`).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Escape a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const PID_FABRIC: u32 = 1;
+const PID_ENGINE: u32 = 2;
+const PID_SCHED: u32 = 3;
+const PID_TENANTS: u32 = 4;
+
+/// Render a [`RuntimeTrace`] as a Chrome trace-event JSON document.
+/// Open the result in [Perfetto](https://ui.perfetto.dev) or
+/// `chrome://tracing`.
+pub fn export_chrome(trace: &RuntimeTrace, opts: &ChromeOptions) -> String {
+    let mut evs: Vec<String> = Vec::new();
+    for (pid, name) in [
+        (PID_FABRIC, "fabric links"),
+        (PID_ENGINE, "engine"),
+        (PID_SCHED, "scheduler"),
+        (PID_TENANTS, "tenants"),
+    ] {
+        evs.push(format!(
+            r#"{{"ph":"M","pid":{pid},"tid":0,"name":"process_name","args":{{"name":"{name}"}}}}"#
+        ));
+    }
+    for (link, name) in opts.link_names.iter().enumerate() {
+        evs.push(format!(
+            r#"{{"ph":"M","pid":{PID_FABRIC},"tid":{link},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+            esc(name)
+        ));
+    }
+    for (tenant, name) in opts.tenant_names.iter().enumerate() {
+        evs.push(format!(
+            r#"{{"ph":"M","pid":{PID_TENANTS},"tid":{tenant},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+            esc(name)
+        ));
+    }
+
+    for ev in &trace.fabric {
+        match *ev {
+            TraceEvent::Inject {
+                start_ns,
+                ser_ns,
+                link,
+                src,
+                bytes,
+            } => evs.push(format!(
+                r#"{{"ph":"X","pid":{PID_FABRIC},"tid":{link},"ts":{},"dur":{},"name":"inject r{src}","args":{{"bytes":{bytes}}}}}"#,
+                us(start_ns),
+                us(ser_ns)
+            )),
+            TraceEvent::Egress {
+                start_ns,
+                ser_ns,
+                link,
+                bytes,
+            } => evs.push(format!(
+                r#"{{"ph":"X","pid":{PID_FABRIC},"tid":{link},"ts":{},"dur":{},"name":"tx","args":{{"bytes":{bytes}}}}}"#,
+                us(start_ns),
+                us(ser_ns)
+            )),
+            TraceEvent::Deliver {
+                at_ns,
+                rank,
+                qp,
+                bytes,
+            } => evs.push(format!(
+                r#"{{"ph":"i","pid":{PID_ENGINE},"tid":{rank},"ts":{},"s":"t","name":"deliver","args":{{"qp":{qp},"bytes":{bytes}}}}}"#,
+                us(at_ns)
+            )),
+            TraceEvent::Drop { at_ns, link, cause } => evs.push(format!(
+                r#"{{"ph":"i","pid":{PID_FABRIC},"tid":{link},"ts":{},"s":"t","name":"drop:{}"}}"#,
+                us(at_ns),
+                cause.label()
+            )),
+            TraceEvent::Fault { at_ns, link, up } => evs.push(format!(
+                r#"{{"ph":"i","pid":{PID_FABRIC},"tid":{link},"ts":{},"s":"t","name":"{}"}}"#,
+                us(at_ns),
+                if up { "fault-up" } else { "fault-down" }
+            )),
+            TraceEvent::QueueDepth { at_ns, depth } => evs.push(format!(
+                r#"{{"ph":"C","pid":{PID_ENGINE},"tid":0,"ts":{},"name":"queue-depth","args":{{"depth":{depth}}}}}"#,
+                us(at_ns)
+            )),
+        }
+    }
+
+    for b in &trace.batches {
+        evs.push(format!(
+            r#"{{"ph":"X","pid":{PID_SCHED},"tid":{},"ts":{},"dur":{},"name":"batch {}","args":{{"jobs":{},"setup_ns":{}}}}}"#,
+            b.partition,
+            us(b.start_ns),
+            us(b.end_ns.saturating_sub(b.start_ns)),
+            b.batch,
+            b.jobs,
+            b.setup_ns
+        ));
+    }
+
+    for j in &trace.jobs {
+        evs.push(format!(
+            r#"{{"ph":"X","pid":{PID_TENANTS},"tid":{},"ts":{},"dur":{},"name":"job {}","args":{{"batch":{},"partition":{},"pool_hits":{},"pool_builds":{},"pool_rebuilds":{}}}}}"#,
+            j.tenant,
+            us(j.started_ns),
+            us(j.finished_ns.saturating_sub(j.started_ns)),
+            j.job,
+            j.batch,
+            j.partition,
+            j.pool_hits,
+            j.pool_builds,
+            j.pool_rebuilds
+        ));
+        // Flow arrow submit → dispatch: queueing made visible.
+        evs.push(format!(
+            r#"{{"ph":"s","pid":{PID_TENANTS},"tid":{},"ts":{},"cat":"job","id":{},"name":"sojourn"}}"#,
+            j.tenant,
+            us(j.submitted_ns),
+            j.job
+        ));
+        evs.push(format!(
+            r#"{{"ph":"f","bp":"e","pid":{PID_TENANTS},"tid":{},"ts":{},"cat":"job","id":{},"name":"sojourn"}}"#,
+            j.tenant,
+            us(j.started_ns),
+            j.job
+        ));
+    }
+
+    for m in &trace.markers {
+        let tid = if m.tenant == u32::MAX { 0 } else { m.tenant };
+        evs.push(format!(
+            r#"{{"ph":"i","pid":{PID_TENANTS},"tid":{tid},"ts":{},"s":"t","name":"reject:{}"}}"#,
+            us(m.at_ns),
+            esc(m.reason)
+        ));
+    }
+
+    let mut out = String::with_capacity(evs.iter().map(|e| e.len() + 2).sum::<usize>() + 64);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    out.push_str(&evs.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Validate that `s` is one well-formed JSON value (the whole string,
+/// modulo surrounding whitespace). Dependency-free recursive-descent
+/// check used by the round-trip tests and the smoke generator.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at offset {pos}")),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
+    if b[pos..].starts_with(lit) {
+        Ok(pos + lit.len())
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let digits = |b: &[u8], mut p: usize| -> (usize, bool) {
+        let s = p;
+        while p < b.len() && b[p].is_ascii_digit() {
+            p += 1;
+        }
+        (p, p > s)
+    };
+    let (p, ok) = digits(b, pos);
+    if !ok {
+        return Err(format!("bad number at offset {start}"));
+    }
+    pos = p;
+    if b.get(pos) == Some(&b'.') {
+        let (p, ok) = digits(b, pos + 1);
+        if !ok {
+            return Err(format!("bad fraction at offset {pos}"));
+        }
+        pos = p;
+    }
+    if matches!(b.get(pos), Some(b'e') | Some(b'E')) {
+        let mut p = pos + 1;
+        if matches!(b.get(p), Some(b'+') | Some(b'-')) {
+            p += 1;
+        }
+        let (p, ok) = digits(b, p);
+        if !ok {
+            return Err(format!("bad exponent at offset {pos}"));
+        }
+        pos = p;
+    }
+    Ok(pos)
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    debug_assert_eq!(b[pos], b'"');
+    pos += 1;
+    while pos < b.len() {
+        match b[pos] {
+            b'"' => return Ok(pos + 1),
+            b'\\' => {
+                match b.get(pos + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                    Some(b'u') => {
+                        let hex = b
+                            .get(pos + 2..pos + 6)
+                            .ok_or_else(|| format!("short \\u escape at offset {pos}"))?;
+                        if !hex.iter().all(|c| c.is_ascii_hexdigit()) {
+                            return Err(format!("bad \\u escape at offset {pos}"));
+                        }
+                        pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                };
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at offset {pos}")),
+            _ => pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    debug_assert_eq!(b[pos], b'{');
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}"));
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    debug_assert_eq!(b[pos], b'[');
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropCause;
+    use crate::span::{BatchSpan, JobSpan, Marker};
+
+    fn sample_trace() -> RuntimeTrace {
+        let mut tr = RuntimeTrace::from_fabric(
+            vec![
+                TraceEvent::Inject {
+                    start_ns: 1000,
+                    ser_ns: 512,
+                    link: 0,
+                    src: 3,
+                    bytes: 4096,
+                },
+                TraceEvent::Egress {
+                    start_ns: 1512,
+                    ser_ns: 512,
+                    link: 7,
+                    bytes: 4096,
+                },
+                TraceEvent::Deliver {
+                    at_ns: 2500,
+                    rank: 5,
+                    qp: 1,
+                    bytes: 4096,
+                },
+                TraceEvent::Drop {
+                    at_ns: 2600,
+                    link: 7,
+                    cause: DropCause::Rnr,
+                },
+                TraceEvent::Fault {
+                    at_ns: 3000,
+                    link: 7,
+                    up: false,
+                },
+                TraceEvent::QueueDepth {
+                    at_ns: 3100,
+                    depth: 42,
+                },
+            ],
+            2,
+        );
+        tr.batches.push(BatchSpan {
+            batch: 0,
+            partition: 1,
+            jobs: 2,
+            start_ns: 500,
+            setup_ns: 200,
+            end_ns: 4000,
+        });
+        tr.jobs.push(JobSpan {
+            job: 0,
+            tenant: 2,
+            partition: 1,
+            batch: 0,
+            submitted_ns: 100,
+            started_ns: 500,
+            finished_ns: 3900,
+            pool_hits: 1,
+            pool_builds: 1,
+            pool_rebuilds: 0,
+        });
+        tr.markers.push(Marker {
+            at_ns: 4100,
+            tenant: 0,
+            reason: "throttled",
+        });
+        tr
+    }
+
+    #[test]
+    fn export_round_trips_through_validator() {
+        let opts = ChromeOptions {
+            link_names: vec!["h0.up".into()],
+            tenant_names: vec!["t0".into(), "t1".into(), "t\"2\"".into()],
+        };
+        let doc = export_chrome(&sample_trace(), &opts);
+        validate_json(&doc).expect("export must be valid JSON");
+        assert!(doc.contains(r#""ts":1.000"#), "integer-µs inject ts");
+        assert!(doc.contains("queue-depth"));
+        assert!(doc.contains("reject:throttled"));
+        assert!(doc.contains(r#"t\"2\""#), "names are escaped");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let opts = ChromeOptions::default();
+        assert_eq!(
+            export_chrome(&sample_trace(), &opts),
+            export_chrome(&sample_trace(), &opts)
+        );
+    }
+
+    #[test]
+    fn microsecond_formatting_is_integer_math() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(123_456), "123.456");
+        assert_eq!(us(1_000_000_007), "1000000.007");
+    }
+
+    #[test]
+    fn validator_accepts_json_shapes() {
+        for ok in [
+            "{}",
+            "[]",
+            r#"{"a":[1,2.5,-3e4,true,false,null,"s\"xA"]}"#,
+            " { \"k\" : { } } ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok:?} should parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1} extra",
+            "{'a':1}",
+            "[01x]",
+            "\"unterminated",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Link-utilization timelines: per-link busy fraction over fixed windows.
+//!
+//! The compact, byte-stable companion to the Chrome export: instead of
+//! one track entry per packet, each link gets one integer permille per
+//! time window. This is what the bench baselines digest and what the
+//! `figures` summaries print.
+
+use crate::event::TraceEvent;
+
+/// Per-link busy-time accounting over fixed windows of simulated time.
+///
+/// Built from the `Inject`/`Egress` events' busy intervals
+/// (`[start_ns, start_ns + ser_ns)`); everything is integer math on
+/// simulated nanoseconds, so the same events produce the same timeline
+/// on every host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkTimeline {
+    window_ns: u64,
+    windows: usize,
+    /// `busy_permille[link][window]` ∈ 0..=1000.
+    busy_permille: Vec<Vec<u16>>,
+    /// Total busy nanoseconds per link (clipped to the horizon).
+    busy_ns: Vec<u64>,
+}
+
+impl LinkTimeline {
+    /// Build a timeline over `num_links` directed links, bucketing busy
+    /// intervals into `window_ns`-wide windows up to `horizon_ns`
+    /// (intervals past the horizon are clipped). `window_ns == 0` or an
+    /// empty horizon yields a zero-window timeline.
+    pub fn build(
+        events: &[TraceEvent],
+        num_links: usize,
+        window_ns: u64,
+        horizon_ns: u64,
+    ) -> LinkTimeline {
+        let windows = if window_ns == 0 {
+            0
+        } else {
+            (horizon_ns.div_ceil(window_ns)) as usize
+        };
+        let mut busy = vec![vec![0u64; windows]; num_links];
+        let mut busy_ns = vec![0u64; num_links];
+        for ev in events {
+            let (start, ser, link) = match *ev {
+                TraceEvent::Inject {
+                    start_ns,
+                    ser_ns,
+                    link,
+                    ..
+                }
+                | TraceEvent::Egress {
+                    start_ns,
+                    ser_ns,
+                    link,
+                    ..
+                } => (start_ns, ser_ns, link as usize),
+                _ => continue,
+            };
+            if link >= num_links {
+                continue;
+            }
+            let end = (start + ser).min(horizon_ns);
+            if end <= start {
+                continue;
+            }
+            busy_ns[link] += end - start;
+            if windows == 0 {
+                continue;
+            }
+            // Spread the interval over every window it overlaps.
+            let mut at = start;
+            while at < end {
+                let w = (at / window_ns) as usize;
+                let w_end = ((w as u64 + 1) * window_ns).min(end);
+                busy[link][w] += w_end - at;
+                at = w_end;
+            }
+        }
+        let busy_permille = busy
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|ns| ((ns * 1000) / window_ns.max(1)).min(1000) as u16)
+                    .collect()
+            })
+            .collect();
+        LinkTimeline {
+            window_ns,
+            windows,
+            busy_permille,
+            busy_ns,
+        }
+    }
+
+    /// Window width in simulated nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Number of windows per link.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// Number of links tracked.
+    pub fn num_links(&self) -> usize {
+        self.busy_permille.len()
+    }
+
+    /// Busy permille per window for one link.
+    pub fn link(&self, link: usize) -> &[u16] {
+        &self.busy_permille[link]
+    }
+
+    /// Total busy nanoseconds per link (horizon-clipped).
+    pub fn busy_ns(&self) -> &[u64] {
+        &self.busy_ns
+    }
+
+    /// The `n` busiest links as `(link, busy_ns)`, busiest first; ties
+    /// break toward the lower link index so the order is deterministic.
+    pub fn busiest(&self, n: usize) -> Vec<(usize, u64)> {
+        let mut ranked: Vec<(usize, u64)> = self
+            .busy_ns
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, ns)| ns > 0)
+            .collect();
+        ranked.sort_by_key(|&(link, ns)| (std::cmp::Reverse(ns), link));
+        ranked.truncate(n);
+        ranked
+    }
+
+    /// FNV-1a digest over the full permille matrix plus per-link busy
+    /// totals — one u64 that changes when any cell does. Used by the
+    /// bench baselines to pin the timeline without checking in the
+    /// whole matrix.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.window_ns);
+        eat(self.windows as u64);
+        for row in &self.busy_permille {
+            for &cell in row {
+                eat(cell as u64);
+            }
+        }
+        for &ns in &self.busy_ns {
+            eat(ns);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn egress(start_ns: u64, ser_ns: u64, link: u32) -> TraceEvent {
+        TraceEvent::Egress {
+            start_ns,
+            ser_ns,
+            link,
+            bytes: 64,
+        }
+    }
+
+    #[test]
+    fn buckets_split_across_windows() {
+        // One 150 ns interval on link 0 starting at 50: windows of 100 ns
+        // see 50 ns then 100 ns busy.
+        let evs = [egress(50, 150, 0)];
+        let tl = LinkTimeline::build(&evs, 2, 100, 300);
+        assert_eq!(tl.windows(), 3);
+        assert_eq!(tl.link(0), &[500, 1000, 0]);
+        assert_eq!(tl.link(1), &[0, 0, 0]);
+        assert_eq!(tl.busy_ns(), &[150, 0]);
+    }
+
+    #[test]
+    fn horizon_clips_and_busiest_ranks() {
+        let evs = [egress(0, 100, 0), egress(0, 400, 1), egress(0, 50, 2)];
+        let tl = LinkTimeline::build(&evs, 3, 100, 200);
+        // Link 1's interval is clipped to the 200 ns horizon.
+        assert_eq!(tl.busy_ns(), &[100, 200, 50]);
+        assert_eq!(tl.busiest(2), vec![(1, 200), (0, 100)]);
+    }
+
+    #[test]
+    fn busiest_breaks_ties_by_link_index() {
+        let evs = [egress(0, 100, 3), egress(0, 100, 1)];
+        let tl = LinkTimeline::build(&evs, 4, 100, 100);
+        assert_eq!(tl.busiest(4), vec![(1, 100), (3, 100)]);
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        let a = LinkTimeline::build(&[egress(0, 100, 0)], 2, 100, 200);
+        let b = LinkTimeline::build(&[egress(0, 100, 0)], 2, 100, 200);
+        let c = LinkTimeline::build(&[egress(0, 101, 0)], 2, 100, 200);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn zero_window_keeps_totals_only() {
+        let tl = LinkTimeline::build(&[egress(0, 100, 0)], 1, 0, 200);
+        assert_eq!(tl.windows(), 0);
+        assert_eq!(tl.busy_ns(), &[100]);
+    }
+}

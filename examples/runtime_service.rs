@@ -14,14 +14,24 @@
 //! virtual-time order, reporting offered load, sojourn percentiles, and
 //! per-partition utilization.
 //!
+//! A third act reruns one open-loop burst with the **flight recorder**
+//! attached: the same workload, now with per-link busy intervals and
+//! job sojourn spans recorded, printing the three busiest links and the
+//! longest job span, and writing a Chrome trace-event file you can open
+//! at <https://ui.perfetto.dev>.
+//!
 //! ```text
 //! cargo run --release --example runtime_service
 //! ```
 
 use mcast_allgather::runtime::{
-    JobKind, OpMix, PoolConfig, RateProcess, Runtime, RuntimeConfig, RuntimeReport, Workload,
+    JobKind, OpMix, PoolConfig, RateProcess, Runtime, RuntimeConfig, RuntimeReport, RuntimeTrace,
+    Workload,
 };
 use mcast_allgather::simnet::Topology;
+use mcast_allgather::trace::{
+    export_chrome, validate_json, ChromeOptions, LinkTimeline, TraceSpec,
+};
 use mcast_allgather::verbs::{LinkRate, Rank};
 
 const TENANTS: usize = 10;
@@ -152,6 +162,88 @@ fn main() {
         open.partitions[1].batches,
         open.utilization() * 100.0,
     );
+
+    // Act three: the same burst with the flight recorder attached.
+    let (traced, trace) = run_traced_burst();
+    assert_eq!(
+        traced, open,
+        "attaching the recorder must not change the report"
+    );
+    let topo = Topology::single_switch(8, LinkRate::CX3_56G, 100);
+    let timeline = LinkTimeline::build(&trace.fabric, topo.num_links(), 65_536, trace.horizon_ns());
+    println!(
+        "\ntraced act         : {} fabric events kept ({} dropped by the ring), {} job spans",
+        trace.fabric.len(),
+        trace.fabric_dropped,
+        trace.jobs.len(),
+    );
+    for (rank, (link, busy_ns)) in timeline.busiest(3).iter().enumerate() {
+        println!(
+            "busiest link #{}    : link {} busy {:.1} us of {:.1} us simulated",
+            rank + 1,
+            link,
+            *busy_ns as f64 / 1e3,
+            trace.horizon_ns() as f64 / 1e3,
+        );
+    }
+    let longest = trace.longest_job().expect("jobs completed");
+    println!(
+        "longest job span   : job {} (tenant {}) sojourn {:.1} us ({:.1} us queued, batch {})",
+        longest.job,
+        longest.tenant,
+        longest.sojourn_ns() as f64 / 1e3,
+        longest.queue_ns() as f64 / 1e3,
+        longest.batch,
+    );
+
+    let doc = export_chrome(
+        &trace,
+        &ChromeOptions {
+            link_names: (0..topo.num_links()).map(|l| format!("link{l}")).collect(),
+            tenant_names: (0..TENANTS).map(|i| format!("tenant-{i:02}")).collect(),
+        },
+    );
+    validate_json(&doc).expect("chrome export is well-formed JSON");
+    let out = std::env::temp_dir().join("runtime_service.trace.json");
+    std::fs::write(&out, &doc).expect("write trace file");
+    println!(
+        "perfetto trace     : {} ({} KiB) — open at https://ui.perfetto.dev",
+        out.display(),
+        doc.len() / 1024,
+    );
+}
+
+/// The open-loop burst again, with a [`TraceSpec`] on the runtime
+/// config: same report, plus the harvested [`RuntimeTrace`].
+fn run_traced_burst() -> (RuntimeReport, RuntimeTrace) {
+    let topo = Topology::single_switch(8, LinkRate::CX3_56G, 100);
+    let cfg = RuntimeConfig {
+        pool: PoolConfig::with_capacity(24),
+        max_inflight: 6,
+        partitions: 2,
+        trace: Some(TraceSpec::default()),
+        ..RuntimeConfig::default()
+    };
+    let mut rt = Runtime::new(topo, cfg);
+    for i in 0..TENANTS {
+        rt.register_tenant(&format!("tenant-{i:02}"));
+    }
+    let workload = Workload {
+        tenants: TENANTS as u32,
+        horizon_ns: 3_000_000,
+        rate: RateProcess::Poisson {
+            mean_interarrival_ns: 50_000,
+        },
+        mix: OpMix {
+            ranks: 8,
+            ..OpMix::default()
+        },
+        seed: 2024,
+    };
+    rt.load_arrivals(&workload.generate());
+    let report = rt.run_open_loop();
+    let trace = rt.take_trace().expect("tracing was enabled");
+    (report, trace)
 }
 
 fn run_open_loop_service() -> RuntimeReport {

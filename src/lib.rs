@@ -17,6 +17,9 @@
 //! * [`simnet`] — the discrete-event RDMA fabric (fat-trees, multicast
 //!   trees, in-network reduction, drop injection, time-varying link
 //!   state, port counters).
+//! * [`trace`] — the deterministic flight recorder: bounded ring-buffer
+//!   trace sink, runtime spans, link-utilization timelines, and
+//!   Chrome/Perfetto trace export.
 //! * [`memfabric`] — the threaded real-byte fabric for end-to-end
 //!   validation.
 //! * [`baselines`] — point-to-point collective schedules.
@@ -52,4 +55,5 @@ pub use mcag_memfabric as memfabric;
 pub use mcag_models as models;
 pub use mcag_runtime as runtime;
 pub use mcag_simnet as simnet;
+pub use mcag_trace as trace;
 pub use mcag_verbs as verbs;

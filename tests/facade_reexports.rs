@@ -90,6 +90,21 @@ fn faults_reachable_and_compiles_plans() {
 }
 
 #[test]
+fn trace_reachable_and_records() {
+    use mcast_allgather::trace::{TraceEvent, TraceSink, TraceSpec};
+    let mut sink = TraceSink::new(TraceSpec::with_capacity(4));
+    sink.record(TraceEvent::QueueDepth { at_ns: 7, depth: 1 });
+    assert_eq!(sink.len(), 1);
+    assert_eq!(sink.dropped(), 0);
+    let tr = mcast_allgather::trace::RuntimeTrace::default();
+    let doc = mcast_allgather::trace::export_chrome(
+        &tr,
+        &mcast_allgather::trace::ChromeOptions::default(),
+    );
+    mcast_allgather::trace::validate_json(&doc).expect("empty trace still exports valid JSON");
+}
+
+#[test]
 fn runtime_reachable_and_constructs() {
     let topo = mcast_allgather::simnet::Topology::single_switch(4, LinkRate::CX3_56G, 100);
     let mut rt = mcast_allgather::runtime::Runtime::new(

@@ -1,0 +1,137 @@
+//! Golden guarantees of the flight recorder (`mcag-trace`):
+//!
+//! * a traced 188-node Allgather run through the runtime is
+//!   byte-identical across simulation worker counts — the per-batch
+//!   fabric rings merge onto the virtual clock in commit order, so
+//!   `jobs = 1` and `jobs = 4` produce the same report *and* the same
+//!   trace;
+//! * attaching the recorder never perturbs results — a traced run's
+//!   report is bit-identical to the untraced run of the same seed;
+//! * ring overflow is observable (the drop counter) but harmless — a
+//!   recorder too small for the run changes nothing but its own
+//!   contents.
+
+use mcast_allgather::core::{des, CollectiveKind, ProtocolConfig};
+use mcast_allgather::runtime::{
+    JobKind, PoolConfig, Runtime, RuntimeConfig, RuntimeReport, RuntimeTrace, TraceSpec,
+};
+use mcast_allgather::simnet::{FabricConfig, Topology};
+use mcast_allgather::trace::{export_chrome, validate_json, ChromeOptions};
+use mcast_allgather::verbs::LinkRate;
+
+/// Allgather jobs from three tenants on the paper's 188-node UCC
+/// testbed, run open-loop through the runtime with the recorder on.
+fn traced_ag188_run(jobs: usize, spec: Option<TraceSpec>) -> (RuntimeReport, Option<RuntimeTrace>) {
+    let mut rt = Runtime::new(
+        Topology::ucc_testbed(),
+        RuntimeConfig {
+            pool: PoolConfig::with_capacity(8),
+            max_inflight: 2,
+            partitions: 2,
+            trace: spec,
+            ..RuntimeConfig::default()
+        },
+    );
+    let tenants: Vec<_> = (0..3)
+        .map(|i| rt.register_tenant(&format!("t{i}")))
+        .collect();
+    for (i, &t) in tenants.iter().enumerate() {
+        for j in 0..2u64 {
+            rt.submit_at(j * 300_000, t, JobKind::Allgather, (4 << 10) << (i % 2));
+        }
+    }
+    let report = rt.run_open_loop_jobs(jobs);
+    let trace = rt.take_trace();
+    (report, trace)
+}
+
+#[test]
+fn traced_ag188_identical_across_worker_counts() {
+    let (r1, t1) = traced_ag188_run(1, Some(TraceSpec::default()));
+    let t1 = t1.expect("tracing was enabled");
+    // Not trivially identical: the run recorded real activity.
+    assert_eq!(r1.completed_jobs(), 6);
+    assert!(!t1.fabric.is_empty(), "fabric events were recorded");
+    assert_eq!(t1.jobs.len(), 6, "one span per completed job");
+    assert!(!t1.batches.is_empty());
+
+    let (r4, t4) = traced_ag188_run(4, Some(TraceSpec::default()));
+    let t4 = t4.expect("tracing was enabled");
+    assert_eq!(r1, r4, "report diverged across worker counts");
+    assert_eq!(t1, t4, "trace diverged across worker counts");
+    // Byte-identical, not just structurally equal.
+    assert_eq!(format!("{t1:?}"), format!("{t4:?}"));
+
+    // And the exported Chrome trace is byte-identical too.
+    let opts = ChromeOptions::default();
+    let (d1, d4) = (export_chrome(&t1, &opts), export_chrome(&t4, &opts));
+    assert_eq!(d1, d4);
+    validate_json(&d1).expect("chrome export parses as JSON");
+}
+
+#[test]
+fn tracing_off_matches_tracing_on() {
+    // Runtime layer: the report must not change when the recorder rides
+    // along (it only observes; spans are bookkeeping outside the
+    // simulation).
+    let (on, trace) = traced_ag188_run(1, Some(TraceSpec::default()));
+    let (off, no_trace) = traced_ag188_run(1, None);
+    assert!(no_trace.is_none(), "no spec, no trace");
+    assert!(trace.is_some());
+    assert_eq!(on, off, "recorder perturbed the runtime report");
+    assert_eq!(format!("{on:?}"), format!("{off:?}"));
+
+    // Fabric layer: same invariant for a one-shot collective.
+    let run = |spec: Option<TraceSpec>| {
+        let mut cfg = FabricConfig::ucc_default();
+        cfg.trace = spec;
+        des::run_collective(
+            Topology::single_switch(8, LinkRate::CX3_56G, 100),
+            cfg,
+            ProtocolConfig::default(),
+            CollectiveKind::Allgather,
+            32 << 10,
+        )
+    };
+    let traced = run(Some(TraceSpec::default()));
+    let plain = run(None);
+    assert!(traced.trace.is_some());
+    assert!(plain.trace.is_none());
+    assert_eq!(traced.stats.events, plain.stats.events);
+    assert_eq!(traced.completion_ns(), plain.completion_ns());
+    assert_eq!(traced.rnr_drops, plain.rnr_drops);
+    assert_eq!(traced.fabric_drops, plain.fabric_drops);
+    assert_eq!(
+        format!("{:?}", traced.traffic.per_link()),
+        format!("{:?}", plain.traffic.per_link())
+    );
+}
+
+#[test]
+fn ring_overflow_counts_drops_without_perturbing_results() {
+    // A ring far too small for the run: it must wrap (drop counter > 0),
+    // keep exactly `capacity` events — the newest window — and leave the
+    // simulation results bit-identical to a comfortably sized ring.
+    let tiny = TraceSpec::with_capacity(64);
+    let (r_tiny, t_tiny) = traced_ag188_run(1, Some(tiny));
+    let (r_big, t_big) = traced_ag188_run(1, Some(TraceSpec::default()));
+    let (t_tiny, t_big) = (t_tiny.unwrap(), t_big.unwrap());
+
+    assert_eq!(r_tiny, r_big, "ring capacity leaked into the report");
+    assert!(
+        t_tiny.fabric_dropped > 0,
+        "a 64-slot ring must overflow on a 188-node run"
+    );
+    assert!(t_tiny.fabric.len() < t_big.fabric.len());
+    assert_eq!(
+        t_tiny.fabric_dropped + t_tiny.fabric.len() as u64,
+        t_big.fabric_dropped + t_big.fabric.len() as u64,
+        "offered-event totals must agree regardless of capacity"
+    );
+    // The kept window is the newest events: every survivor in the tiny
+    // trace also appears in the big one.
+    assert!(t_tiny.fabric.iter().all(|ev| t_big.fabric.contains(ev)));
+    // Spans are recorded outside the ring, so they never drop.
+    assert_eq!(t_tiny.jobs, t_big.jobs);
+    assert_eq!(t_tiny.batches, t_big.batches);
+}
