@@ -37,7 +37,10 @@
 //! `BENCH_load.json`, while `tracefigs` / `tracefigs_smoke` attach the
 //! flight recorder to the same scenarios — determinism digests of
 //! link-utilization timelines, a Perfetto-export round trip, and the
-//! zero-cost-when-off overhead cell — and write `BENCH_trace.json`.
+//! zero-cost-when-off overhead cell — and write `BENCH_trace.json`,
+//! and `recoveryfigs` / `recoveryfigs_smoke` compare oblivious vs
+//! fault-aware scheduling on a damaged fabric partition (paired seeds,
+//! pooled sojourn tails) and write `BENCH_recovery.json`.
 //!
 //! Every sweep-shaped generator takes a `jobs` worker count and fans its
 //! independent simulations out through [`mcag_exec::par_map`]; outputs
@@ -55,6 +58,7 @@ pub mod loadfigs;
 pub mod modelfigs;
 pub mod netfigs;
 pub mod parallel;
+pub mod recoveryfigs;
 pub mod runtimefigs;
 pub mod simcore;
 pub mod tracefigs;
@@ -97,6 +101,8 @@ pub const PERF: &[&str] = &[
     "loadfigs_smoke",
     "tracefigs",
     "tracefigs_smoke",
+    "recoveryfigs",
+    "recoveryfigs_smoke",
 ];
 
 /// Run one generator by id, serially (`jobs = 1`).
@@ -138,6 +144,8 @@ pub fn generate_with(id: &str, jobs: usize) -> FigData {
         "parallel_scaling_smoke" => parallel::parallel_scaling_smoke(),
         "tracefigs" => tracefigs::tracefigs(),
         "tracefigs_smoke" => tracefigs::tracefigs_smoke(),
+        "recoveryfigs" => recoveryfigs::recoveryfigs(),
+        "recoveryfigs_smoke" => recoveryfigs::recoveryfigs_smoke(),
         other => {
             panic!("unknown figure id {other:?} (known: {ALL_FIGS:?} + {ABLATIONS:?} + {PERF:?})")
         }

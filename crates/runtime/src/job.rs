@@ -98,6 +98,17 @@ pub enum RejectReason {
     ///
     /// [`QueueFull`]: RejectReason::QueueFull
     Throttled,
+    /// Graceful degradation under sustained faults: the reactive
+    /// scheduler's retry backlog exceeded
+    /// [`ReactivePolicy::degrade_retry_backlog`], so new arrivals are
+    /// shed to let recovery traffic drain. Distinct from [`Throttled`]
+    /// (healthy-path sojourn feedback) so a fault study can attribute
+    /// refusals to the fault response rather than ordinary overload.
+    ///
+    /// [`ReactivePolicy::degrade_retry_backlog`]:
+    ///     crate::ReactivePolicy::degrade_retry_backlog
+    /// [`Throttled`]: RejectReason::Throttled
+    Degraded,
 }
 
 impl RejectReason {
@@ -112,6 +123,7 @@ impl RejectReason {
             RejectReason::InvalidRoot => "invalid-root",
             RejectReason::GroupDemand => "group-demand",
             RejectReason::Throttled => "throttled",
+            RejectReason::Degraded => "degraded",
         }
     }
 }
@@ -127,6 +139,7 @@ impl fmt::Display for RejectReason {
             RejectReason::InvalidRoot => "broadcast root out of range",
             RejectReason::GroupDemand => "job needs more groups than the pool holds",
             RejectReason::Throttled => "admission throttled: recent sojourn over threshold",
+            RejectReason::Degraded => "degraded: retry backlog over the fault-response bound",
         };
         f.write_str(s)
     }
@@ -173,6 +186,9 @@ pub struct PendingJob {
     pub submitted_ns: u64,
     /// Distinct multicast groups the job pins while running.
     pub group_demand: u32,
+    /// Batch dispatches consumed so far (0 until first launch; the
+    /// reactive scheduler bumps it when re-forming after a timeout).
+    pub attempt: u32,
 }
 
 /// One tenant's lane in the indexed queue: a FIFO of pending jobs plus
@@ -259,6 +275,18 @@ impl JobQueue {
         self.len += 1;
     }
 
+    /// Re-enqueue a timed-out job at the *head* of its tenant's lane: a
+    /// communicator's collectives are ordered, so the retry must run
+    /// before anything the tenant submitted after it.
+    pub fn push_front(&mut self, job: PendingJob) {
+        let t = job.spec.tenant.idx();
+        self.lanes[t].fifo.push_front(job);
+        if self.lanes[t].ready() {
+            self.ready.insert(t as u32);
+        }
+        self.len += 1;
+    }
+
     /// Mark a tenant's lane busy: it has a job in an in-flight batch, so
     /// its head-of-line job leaves the ready index until
     /// [`mark_idle`](JobQueue::mark_idle).
@@ -339,6 +367,7 @@ mod tests {
             },
             submitted_ns: 0,
             group_demand: demand,
+            attempt: 0,
         }
     }
 
@@ -379,6 +408,18 @@ mod tests {
             "next batch starts where the last stopped"
         );
         assert_eq!(b2[1].spec.tenant, TenantId(3));
+    }
+
+    #[test]
+    fn push_front_preserves_communicator_order() {
+        let mut q = queue(1);
+        q.push(job(0, 5, 1)); // submitted after the retry victim
+        q.push_front(job(0, 3, 1)); // the timed-out job coming back
+        let batch = q.pick_batch(8, 8);
+        assert_eq!(batch[0].id, JobId(3), "retry runs before newer work");
+        let batch = q.pick_batch(8, 8);
+        assert_eq!(batch[0].id, JobId(5));
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use arrivals::{
     Workload,
 };
 pub use job::{AdmissionPolicy, JobId, JobKind, JobQueue, JobSpec, RejectReason, TenantId};
-pub use mcag_trace::{BatchSpan, JobSpan, Marker, RuntimeTrace, TraceSpec};
+pub use mcag_trace::{BatchSpan, JobSpan, Marker, RebuildSpan, RuntimeTrace, TraceSpec};
 pub use pool::{AcquireOutcome, GroupKey, McastGroupPool, PoolConfig, PoolStats};
-pub use sched::{BatchReport, Runtime, RuntimeConfig};
-pub use stats::{JobRecord, PartitionStats, RejectCounts, RuntimeReport, TenantStats};
+pub use sched::{BatchReport, ReactivePolicy, Runtime, RuntimeConfig};
+pub use stats::{JobRecord, PartitionStats, RejectCounts, RetryStats, RuntimeReport, TenantStats};

@@ -216,6 +216,27 @@ impl McastGroupPool {
         outcome
     }
 
+    /// Charge `n` subnet-manager tree rebuilds that happened *outside*
+    /// the acquire path — the SM re-routing groups around dead switches
+    /// mid-batch. Counts them in [`PoolStats::rebuilds`] and returns the
+    /// virtual time to bill (`n × rebuild_ns`): the same detach +
+    /// reprogram cost an eviction rebuild pays, because the switch work
+    /// is the same.
+    pub fn charge_rebuilds(&mut self, n: u32) -> u64 {
+        self.stats.rebuilds += n as u64;
+        self.rebuild_cost_ns(n)
+    }
+
+    /// Virtual time `n` SM tree rebuilds cost (`n × rebuild_ns`) without
+    /// charging them — the scheduler prices a batch's recovery work
+    /// before the batch commits ([`charge_rebuilds`] bills it once, at
+    /// commit).
+    ///
+    /// [`charge_rebuilds`]: McastGroupPool::charge_rebuilds
+    pub fn rebuild_cost_ns(&self, n: u32) -> u64 {
+        self.cfg.rebuild_ns * n as u64
+    }
+
     /// Unpin every group (batch finished); resident entries stay cached
     /// for reuse by later batches.
     pub fn unpin_all(&mut self) {

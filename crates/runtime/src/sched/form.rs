@@ -143,6 +143,17 @@ impl Runtime {
         // batch records into its own sink on its local clock, and the
         // merge phase shifts the events onto the virtual timeline.
         fabric.trace = self.cfg.trace.clone();
+        // Partition hazard environment: every batch on a partition
+        // replays that partition's fault schedule (times relative to the
+        // batch's own launch), so a damaged SM domain stays damaged for
+        // every batch routed onto it.
+        if !self.cfg.partition_faults.is_empty() {
+            fabric.faults = self.cfg.partition_faults[partition as usize].clone();
+        }
+        let (sm_rebuild, sm_check_cutoffs) = match &self.cfg.reactive {
+            Some(r) => (r.sm_rebuild, r.sm_check_cutoffs),
+            None => (false, 0),
+        };
         let plans = picked
             .iter()
             .enumerate()
@@ -168,12 +179,14 @@ impl Runtime {
             .map(|job| matches!(job.spec.kind, JobKind::AgRs))
             .collect();
         let sim = BatchSim {
-            index,
             topo: self.topo.clone(),
             fabric,
             proto,
             plans,
             with_rs,
+            watchdog_cutoffs: self.cfg.watchdog_cutoffs,
+            sm_rebuild,
+            sm_check_cutoffs,
         };
         Some(FormedBatch {
             index,

@@ -8,12 +8,20 @@
 //! paths, virtual completion-time order (ties broken by batch index) for
 //! the open-loop engine — so the clock, the EWMA throttle state, and
 //! every report field are pure functions of the submission stream.
+//!
+//! This is also where the fault response is decided: a slot censored at
+//! the batch's recovery cutoff either re-enters the scheduler through
+//! the retry queue (reactive runs with attempts left) or is recorded as
+//! a censored [`JobRecord`], and the batch's observed damage (drops,
+//! downtime, the timeout itself) is folded into the partition-health
+//! score that steers later placements.
 
 use super::form::FormedBatch;
 use super::sim::{delivered_bytes, BatchOutcome};
 use super::{BatchReport, Runtime};
+use crate::job::PendingJob;
 use crate::stats::JobRecord;
-use mcag_trace::{BatchSpan, JobSpan};
+use mcag_trace::{BatchSpan, JobSpan, Marker, RebuildSpan};
 
 impl Runtime {
     /// Commit one simulated batch at virtual time `batch_start`,
@@ -36,13 +44,66 @@ impl Runtime {
             ..
         } = formed;
         self.moved_bytes += outcome.moved_bytes;
+        let reactive = self.cfg.reactive;
+
+        // Bill the batch's mid-run SM recovery (tree re-routes around
+        // dead switches) exactly once, at commit: same detach +
+        // reprogram cost as an eviction rebuild. `launch_ready` priced
+        // the identical amount into `done_ns` when the batch went in
+        // flight, so the occupancy window and the pool counters agree.
+        let recovery_ns = self.pool.charge_rebuilds(outcome.sm_rebuilds);
 
         // Account every job on the virtual timeline: queueing ended at
         // dispatch; group programming happens before data flies.
         let dispatch_ns = batch_start + setup_ns;
+        let done_ns = dispatch_ns + outcome.batch_ns + recovery_ns;
         let mut job_ids = Vec::with_capacity(picked.len());
         for (i, job) in picked.iter().enumerate() {
-            let delivered = delivered_bytes(job.spec.kind, &sim.plans[i]);
+            job_ids.push(job.id);
+            let censored = outcome.slot_timed_out[i];
+            if censored {
+                self.retry.timed_out_slots += 1;
+            }
+
+            // Reactive retry: a censored job with attempts left goes
+            // back to the head of its tenant's lane after a capped
+            // exponential backoff — no record yet, and the lane stays
+            // busy so nothing the tenant submitted later can overtake
+            // the retry (communicator order).
+            if let Some(policy) = reactive.filter(|p| censored && job.attempt + 1 < p.max_attempts)
+            {
+                let attempt = job.attempt + 1;
+                let backoff = policy
+                    .backoff_base_ns
+                    .saturating_mul(1 << (attempt - 1).min(20))
+                    .min(policy.backoff_cap_ns);
+                let ready_ns = done_ns + backoff;
+                self.retry.retried_jobs += 1;
+                self.retry.backoff_ns_sum += backoff;
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.markers.push(Marker {
+                        at_ns: done_ns,
+                        tenant: job.spec.tenant.0,
+                        reason: "job-retry",
+                    });
+                }
+                let parked = PendingJob { attempt, ..*job };
+                let pos = self.retry_queue.partition_point(|&(t, _)| t <= ready_ns);
+                self.retry_queue.insert(pos, (ready_ns, parked));
+                continue;
+            }
+
+            // Completed — or censored for good (oblivious runs, or the
+            // retry budget ran out): the lane idles and a record lands.
+            self.queue.mark_idle(job.spec.tenant);
+            if censored && reactive.is_some() {
+                self.retry.gave_up_jobs += 1;
+            }
+            let delivered = if censored {
+                0
+            } else {
+                delivered_bytes(job.spec.kind, &sim.plans[i])
+            };
             let (group_hits, group_builds, group_rebuilds) = per_job_groups[i];
             let rec = JobRecord {
                 id: job.id,
@@ -58,17 +119,27 @@ impl Runtime {
                 group_hits,
                 group_builds,
                 group_rebuilds,
+                attempts: job.attempt + 1,
+                timed_out: censored,
+                sm_rebuilds: outcome.sm_rebuilds,
             };
             let ts = &mut self.tenants[job.spec.tenant.idx()];
-            ts.completed += 1;
-            ts.queue_ns_sum += rec.queue_ns();
-            ts.service_ns_sum += rec.service_ns();
-            ts.delivered_bytes += delivered;
-            ts.last_finish_ns = ts.last_finish_ns.max(rec.finished_ns);
-            self.delivered_bytes += delivered;
+            if censored {
+                ts.timed_out += 1;
+                ts.censored_ns_sum += rec.latency_ns();
+            } else {
+                ts.completed += 1;
+                ts.queue_ns_sum += rec.queue_ns();
+                ts.service_ns_sum += rec.service_ns();
+                ts.delivered_bytes += delivered;
+                ts.last_finish_ns = ts.last_finish_ns.max(rec.finished_ns);
+                self.delivered_bytes += delivered;
+            }
             // Sojourn EWMA (α = ¼) feeding the admission throttle:
             // integer arithmetic, updated in commit order, so it is as
-            // deterministic as the records themselves.
+            // deterministic as the records themselves. Censored sojourns
+            // count too — a fabric losing jobs should shed load, not
+            // admit more.
             self.sojourn_ewma_ns = (3 * self.sojourn_ewma_ns + rec.latency_ns()) / 4;
             if let Some(tr) = self.trace.as_mut() {
                 tr.jobs.push(JobSpan {
@@ -84,11 +155,9 @@ impl Runtime {
                     pool_rebuilds: group_rebuilds,
                 });
             }
-            job_ids.push(job.id);
             self.records.push(rec);
         }
 
-        let done_ns = dispatch_ns + outcome.batch_ns;
         if let Some(tr) = self.trace.as_mut() {
             // Merge runs in commit order, so both the span list and the
             // absorbed fabric events land deterministically for every
@@ -105,17 +174,38 @@ impl Runtime {
                 setup_ns,
                 end_ns: done_ns,
             });
+            if outcome.sm_rebuilds > 0 {
+                tr.rebuilds.push(RebuildSpan {
+                    at_ns: dispatch_ns,
+                    partition,
+                    batch: index,
+                    groups: outcome.sm_rebuilds,
+                });
+            }
         }
         self.now_ns = self.now_ns.max(done_ns);
         self.batches += 1;
+        self.retry.timed_out_batches += outcome.timed_out as u64;
+        self.retry.sm_rebuilds += outcome.sm_rebuilds as u64;
+
+        // Fold the batch's observed damage into the partition's health
+        // score (commit order ⇒ deterministic): a timeout dominates,
+        // drops and downtime grade partial damage.
+        self.partition_health[partition as usize] += outcome.fault_drops * 1_000
+            + outcome.downtime_ns / 1_000
+            + (outcome.timed_out as u64) * 1_000_000;
+
         let ps = &mut self.partition_stats[partition as usize];
         ps.batches += 1;
-        ps.busy_ns += setup_ns + outcome.batch_ns;
+        ps.busy_ns += setup_ns + outcome.batch_ns + recovery_ns;
+        ps.fault_drops += outcome.fault_drops;
+        ps.downtime_ns += outcome.downtime_ns;
+        ps.timeouts += outcome.timed_out as u64;
         BatchReport {
             index,
             started_ns: batch_start,
             setup_ns,
-            batch_ns: outcome.batch_ns,
+            batch_ns: outcome.batch_ns + recovery_ns,
             jobs: job_ids,
         }
     }

@@ -54,17 +54,66 @@ use crate::job::{
     AdmissionPolicy, JobId, JobKind, JobQueue, JobSpec, PendingJob, RejectReason, TenantId,
 };
 use crate::pool::{McastGroupPool, PoolConfig};
-use crate::stats::{PartitionStats, RejectCounts, RuntimeReport, TenantStats};
+use crate::stats::{PartitionStats, RejectCounts, RetryStats, RuntimeReport, TenantStats};
 use form::{FormMode, FormedBatch};
-use mcag_core::ProtocolConfig;
+use mcag_core::{des, ProtocolConfig};
 use mcag_exec::par_map;
-use mcag_simnet::{FabricConfig, Topology};
+use mcag_simnet::{FabricConfig, LinkSchedule, Topology};
 use mcag_trace::{Marker, RuntimeTrace, TraceSpec};
 use sim::{simulate_batch, BatchOutcome};
 use std::collections::BTreeSet;
 
 #[allow(unused_imports)] // doc links
 use mcag_simnet::Fabric;
+
+/// How the scheduler reacts to fabric faults. `None` on
+/// [`RuntimeConfig::reactive`] is the **oblivious** baseline: batches
+/// are placed on the lowest free partition regardless of damage, and a
+/// timed-out job is recorded censored. `Some` turns on the full
+/// reaction: health-aware partition steering, mid-batch SM tree
+/// rebuilds, timed-out jobs re-formed into later batches under capped
+/// exponential backoff, and graceful admission degradation when the
+/// retry backlog grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReactivePolicy {
+    /// Batch dispatches a job may consume before it is recorded
+    /// censored (1 disables retries; the default allows 3 retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry becomes eligible (ns); attempt
+    /// `k` waits `backoff_base_ns << (k-1)`, capped below.
+    pub backoff_base_ns: u64,
+    /// Ceiling on the per-retry backoff (ns).
+    pub backoff_cap_ns: u64,
+    /// Graceful degradation: while at least this many jobs sit in the
+    /// retry backlog, new arrivals are refused with
+    /// [`RejectReason::Degraded`]. `None` never degrades.
+    pub degrade_retry_backlog: Option<usize>,
+    /// Quarantine threshold on the partition-health score (0 = any
+    /// known damage quarantines a partition while a healthier one is
+    /// serving; see [`Runtime::partition_health_score`]).
+    pub quarantine_score: u64,
+    /// Mid-batch subnet-manager recovery: periodically diagnose
+    /// fully-dead switches and re-route multicast trees around them
+    /// (rebuild time billed at commit via the group pool).
+    pub sm_rebuild: bool,
+    /// SM diagnosis period, in multiples of the batch's summed per-job
+    /// cutoffs.
+    pub sm_check_cutoffs: u64,
+}
+
+impl Default for ReactivePolicy {
+    fn default() -> ReactivePolicy {
+        ReactivePolicy {
+            max_attempts: 4,
+            backoff_base_ns: 200_000,
+            backoff_cap_ns: 1_600_000,
+            degrade_retry_backlog: None,
+            quarantine_score: 0,
+            sm_rebuild: true,
+            sm_check_cutoffs: 4,
+        }
+    }
+}
 
 /// Everything the runtime needs to know up front.
 #[derive(Debug, Clone)]
@@ -91,6 +140,22 @@ pub struct RuntimeConfig {
     /// with [`Runtime::take_trace`]. `None` (the default) records
     /// nothing and adds one branch per would-be record.
     pub trace: Option<TraceSpec>,
+    /// Per-partition fault schedules: when non-empty (length must equal
+    /// [`partitions`](RuntimeConfig::partitions)), every batch placed on
+    /// partition `p` replays `partition_faults[p]` on its fabric, with
+    /// event times relative to the batch's launch — the partition's
+    /// standing hazard environment. Empty (the default) leaves
+    /// [`fabric`](RuntimeConfig::fabric)`.faults` untouched.
+    pub partition_faults: Vec<LinkSchedule>,
+    /// Fault-reaction policy; `None` (the default) is the oblivious
+    /// baseline — see [`ReactivePolicy`].
+    pub reactive: Option<ReactivePolicy>,
+    /// Batch recovery cutoff, in multiples of the batch's summed
+    /// per-job drain cutoffs: a batch still running past the cutoff is
+    /// censored (timed out), never panicked. The default is the DES
+    /// livelock watchdog's generous bound; fault studies shrink it so a
+    /// casualty is declared on a recovery timescale.
+    pub watchdog_cutoffs: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -103,6 +168,9 @@ impl Default for RuntimeConfig {
             max_inflight: 8,
             partitions: 1,
             trace: None,
+            partition_faults: Vec::new(),
+            reactive: None,
+            watchdog_cutoffs: des::WATCHDOG_CUTOFFS,
         }
     }
 }
@@ -163,6 +231,17 @@ pub struct Runtime {
     /// Submission attempts (admitted + rejected).
     offered: u64,
     rejects: RejectCounts,
+    /// Timed-out jobs awaiting their backoff deadline, sorted by
+    /// eligibility time (ties keep insertion = commit order). Their
+    /// tenant lanes stay busy until re-queued, preserving communicator
+    /// order.
+    retry_queue: Vec<(u64, PendingJob)>,
+    /// Per-partition damage score: static subnet-manager telemetry from
+    /// `cfg.partition_faults` plus dynamic observations folded in at
+    /// commit. The reactive scheduler steers batches toward the minimum.
+    partition_health: Vec<u64>,
+    /// Recovery accounting, accumulated at commit.
+    retry: RetryStats,
     /// Accumulating trace document (`Some` iff `cfg.trace` is).
     trace: Option<RuntimeTrace>,
 }
@@ -173,8 +252,33 @@ impl Runtime {
         assert!(topo.num_hosts() >= 2, "runtime needs at least two ranks");
         assert!(cfg.max_inflight >= 1, "max_inflight must be positive");
         assert!(cfg.partitions >= 1, "need at least one fabric partition");
+        assert!(
+            cfg.partition_faults.is_empty() || cfg.partition_faults.len() == cfg.partitions,
+            "partition_faults must name every partition ({} schedules for {} partitions)",
+            cfg.partition_faults.len(),
+            cfg.partitions
+        );
         let pool = McastGroupPool::new(cfg.pool);
         let partition_stats = vec![PartitionStats::default(); cfg.partitions];
+        // Static SM telemetry: the subnet manager knows its own fault
+        // schedules, so each partition starts with a damage score
+        // summarizing the outages it will replay (one point per ms of
+        // scheduled downtime plus a fixed charge per down transition).
+        // Dynamic observations are folded in at commit.
+        let mut partition_health = vec![0u64; cfg.partitions];
+        for (p, sched) in cfg.partition_faults.iter().enumerate() {
+            for (i, ev) in sched.events().iter().enumerate() {
+                if !ev.up {
+                    let next_up = sched.next_up_ns(i);
+                    let outage_us = if next_up == u64::MAX {
+                        1_000_000 // never recovers: a fixed large outage
+                    } else {
+                        (next_up - ev.at_ns) / 1_000
+                    };
+                    partition_health[p] += 1_000 + outage_us;
+                }
+            }
+        }
         let trace = cfg.trace.as_ref().map(|_| RuntimeTrace::default());
         Runtime {
             topo,
@@ -196,8 +300,27 @@ impl Runtime {
             sojourn_ewma_ns: 0,
             offered: 0,
             rejects: RejectCounts::default(),
+            retry_queue: Vec::new(),
+            partition_health,
+            retry: RetryStats::default(),
             trace,
         }
+    }
+
+    /// Current damage score of one partition: static SM telemetry from
+    /// its fault schedule plus dynamic observations (drops, downtime,
+    /// timeouts) folded in as its batches commit. The reactive scheduler
+    /// steers new batches toward the minimum-score free partition and
+    /// quarantines partitions scoring above
+    /// [`ReactivePolicy::quarantine_score`] while a healthier one is
+    /// serving.
+    pub fn partition_health_score(&self, partition: usize) -> u64 {
+        self.partition_health[partition]
+    }
+
+    /// Timed-out jobs currently waiting out their retry backoff.
+    pub fn retry_backlog(&self) -> usize {
+        self.retry_queue.len()
     }
 
     /// Register a tenant; its id indexes the per-tenant stats.
@@ -315,6 +438,7 @@ impl Runtime {
             },
             submitted_ns: a.arrival_ns,
             group_demand: self.group_demand(a.kind, a.send_len),
+            attempt: 0,
         });
         self.tenants[a.tenant.idx()].submitted += 1;
         Ok(id)
@@ -359,6 +483,19 @@ impl Runtime {
                 return Err(RejectReason::Throttled);
             }
         }
+        // Graceful degradation under sustained faults: while the retry
+        // backlog is over the reactive policy's bound, shed new work so
+        // recovery traffic drains first.
+        if let Some(bound) = self
+            .cfg
+            .reactive
+            .as_ref()
+            .and_then(|r| r.degrade_retry_backlog)
+        {
+            if self.retry_queue.len() >= bound {
+                return Err(RejectReason::Degraded);
+            }
+        }
         if self.queue.len() >= self.cfg.admission.max_queued_total {
             return Err(RejectReason::QueueFull);
         }
@@ -371,6 +508,7 @@ impl Runtime {
     /// Dispatch and run the next fair batch; `None` when the queue is
     /// empty. Advances the virtual clock past the batch.
     pub fn run_next_batch(&mut self) -> Option<BatchReport> {
+        self.admit_due_retries();
         let formed = self.form_batch(FormMode::Sequential)?;
         let outcome = simulate_batch(&formed.sim);
         let start = self.now_ns;
@@ -379,10 +517,19 @@ impl Runtime {
 
     /// Drain the queue batch by batch and return the final report
     /// (serial reference path — identical to
-    /// [`Runtime::run_to_completion_jobs`] with `jobs = 1`).
+    /// [`Runtime::run_to_completion_jobs`] with `jobs = 1` on
+    /// retry-free runs).
     pub fn run_to_completion(&mut self) -> RuntimeReport {
         self.assert_no_scheduled_arrivals();
-        while self.run_next_batch().is_some() {}
+        loop {
+            while self.run_next_batch().is_some() {}
+            // Reactive runs may have parked timed-out jobs behind a
+            // backoff deadline; jump the clock there and keep draining.
+            match self.retry_queue.first() {
+                Some(&(ready_ns, _)) => self.now_ns = self.now_ns.max(ready_ns),
+                None => break,
+            }
+        }
         self.report()
     }
 
@@ -391,18 +538,31 @@ impl Runtime {
     /// are order-sensitive and cheap), the expensive per-batch fabric
     /// runs execute on the fork-join executor, and results merge in
     /// batch order. Per-batch seeds derive from the batch index, so the
-    /// returned report is **byte-identical** to [`run_to_completion`]
-    /// (`Runtime::run_to_completion`) for every `jobs` value.
+    /// returned report is **byte-identical** for every `jobs` value.
     pub fn run_to_completion_jobs(&mut self, jobs: usize) -> RuntimeReport {
         self.assert_no_scheduled_arrivals();
-        let mut formed = Vec::new();
-        while let Some(fb) = self.form_batch(FormMode::Sequential) {
-            formed.push(fb);
-        }
-        let outcomes = par_map(jobs, &formed, |fb| simulate_batch(&fb.sim));
-        for (fb, outcome) in formed.into_iter().zip(outcomes) {
-            let start = self.now_ns;
-            self.merge_batch(fb, outcome, start);
+        loop {
+            let mut formed = Vec::new();
+            while let Some(fb) = self.form_batch(FormMode::Sequential) {
+                formed.push(fb);
+            }
+            if formed.is_empty() {
+                // Only parked retries can remain; release the earliest.
+                match self.retry_queue.first() {
+                    Some(&(ready_ns, _)) => {
+                        self.now_ns = self.now_ns.max(ready_ns);
+                        self.admit_due_retries();
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            let outcomes = par_map(jobs, &formed, |fb| simulate_batch(&fb.sim));
+            for (fb, outcome) in formed.into_iter().zip(outcomes) {
+                let start = self.now_ns;
+                self.merge_batch(fb, outcome, start);
+            }
+            self.admit_due_retries();
         }
         self.report()
     }
@@ -434,25 +594,30 @@ impl Runtime {
         assert!(jobs >= 1, "need at least one worker");
         loop {
             self.admit_due_arrivals();
+            self.admit_due_retries();
             self.launch_ready(jobs);
             let next_done = self.inflight.iter().map(|b| b.done_ns).min();
             let next_arrival = self.arrivals.get(self.arrival_cursor).map(|a| a.arrival_ns);
-            let t = match (next_done, next_arrival) {
-                (Some(d), Some(a)) => d.min(a),
-                (Some(d), None) => d,
-                (None, Some(a)) => a,
-                (None, None) => {
-                    // Nothing in flight and nothing to come. Admission
-                    // caps group demand at the pool capacity and idle
-                    // tenants at an empty engine are always ready, so an
-                    // empty launch here means an empty queue.
-                    assert!(
-                        self.queue.is_empty(),
-                        "open-loop engine stalled with {} pending jobs",
-                        self.queue.len()
-                    );
-                    break;
-                }
+            let next_retry = self.retry_queue.first().map(|&(ready_ns, _)| ready_ns);
+            let t = [next_done, next_arrival, next_retry]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(t) = t else {
+                // Nothing in flight, nothing to come, nothing parked.
+                // Admission caps group demand at the pool capacity and
+                // idle tenants at an empty engine are always ready, so
+                // an empty launch here means an empty queue — unless
+                // the reactive scheduler is quarantining every damaged
+                // partition; the progress guarantee in
+                // `free_partition` forbids that with nothing in flight.
+                assert!(
+                    self.queue.is_empty() && self.retry_queue.is_empty(),
+                    "open-loop engine stalled with {} pending and {} parked jobs",
+                    self.queue.len(),
+                    self.retry_queue.len()
+                );
+                break;
             };
             self.now_ns = self.now_ns.max(t);
             if next_done == Some(t) {
@@ -460,6 +625,20 @@ impl Runtime {
             }
         }
         self.report()
+    }
+
+    /// Re-queue every parked retry whose backoff deadline has passed, at
+    /// the *head* of its tenant's lane (communicator order), and wake
+    /// the lane.
+    fn admit_due_retries(&mut self) {
+        while let Some(&(ready_ns, job)) = self.retry_queue.first() {
+            if ready_ns > self.now_ns {
+                break;
+            }
+            self.retry_queue.remove(0);
+            self.queue.push_front(job);
+            self.queue.mark_idle(job.spec.tenant);
+        }
     }
 
     /// Admit every scheduled arrival whose time has come.
@@ -490,7 +669,11 @@ impl Runtime {
         }
         let outcomes = par_map(jobs, &newly, |fb| simulate_batch(&fb.sim));
         for (fb, outcome) in newly.into_iter().zip(outcomes) {
-            let done_ns = fb.started_ns + fb.setup_ns + outcome.batch_ns;
+            // Mid-batch SM rebuilds extend the batch's occupancy (the
+            // same detach + reprogram the pool bills for an eviction);
+            // the pool charge itself lands at commit.
+            let recovery_ns = self.pool.rebuild_cost_ns(outcome.sm_rebuilds);
+            let done_ns = fb.started_ns + fb.setup_ns + outcome.batch_ns + recovery_ns;
             self.inflight.push(InflightBatch {
                 formed: fb,
                 outcome,
@@ -499,8 +682,18 @@ impl Runtime {
         }
     }
 
-    /// Lowest-index partition not occupied by an in-flight or
-    /// just-formed batch.
+    /// The partition the next batch should occupy, or `None` when every
+    /// acceptable partition is busy.
+    ///
+    /// Oblivious (the default): the lowest-index partition not occupied
+    /// by an in-flight or just-formed batch. Reactive: the *lowest
+    /// damage score* free partition (ties to the lowest index), and a
+    /// free partition scoring above the quarantine threshold is left
+    /// idle while any other batch is serving — feeding a known-damaged
+    /// SM domain costs a watchdog timeout, so queueing is cheaper. With
+    /// nothing at all in flight the best partition is used regardless of
+    /// score: the engine must make progress even on an all-damaged
+    /// fabric.
     fn free_partition(&self, pending: &[FormedBatch]) -> Option<u32> {
         let used: BTreeSet<u32> = self
             .inflight
@@ -508,7 +701,18 @@ impl Runtime {
             .map(|b| b.formed.partition)
             .chain(pending.iter().map(|fb| fb.partition))
             .collect();
-        (0..self.cfg.partitions as u32).find(|p| !used.contains(p))
+        let reactive = match &self.cfg.reactive {
+            Some(r) => r,
+            None => return (0..self.cfg.partitions as u32).find(|p| !used.contains(p)),
+        };
+        let best = (0..self.cfg.partitions as u32)
+            .filter(|p| !used.contains(p))
+            .min_by_key(|&p| (self.partition_health[p as usize], p))?;
+        let score = self.partition_health[best as usize];
+        if score > reactive.quarantine_score && !used.is_empty() {
+            return None;
+        }
+        Some(best)
     }
 
     /// Commit every in-flight batch completing at virtual time `t`, in
@@ -533,9 +737,10 @@ impl Runtime {
                 .flat_map(|job| self.group_keys(job))
                 .collect();
             self.pool.unpin(&keys);
-            for job in &infl.formed.picked {
-                self.queue.mark_idle(job.spec.tenant);
-            }
+            // Tenant lanes are released per job inside the merge: a
+            // completed (or given-up) job idles its lane, a job headed
+            // for the retry queue keeps it busy so communicator order
+            // holds across the retry.
             let start = infl.formed.started_ns;
             self.merge_batch(infl.formed, infl.outcome, start);
         }
@@ -563,6 +768,7 @@ impl Runtime {
             offered_jobs: self.offered,
             rejects: self.rejects,
             partitions: self.partition_stats.clone(),
+            retry: self.retry,
         }
     }
 }
@@ -776,6 +982,251 @@ mod tests {
         let wave = run(4);
         assert_eq!(serial, wave);
         assert_eq!(format!("{serial:?}"), format!("{wave:?}"));
+    }
+
+    /// A schedule that downs every link of `topo` at t = 0, forever: the
+    /// partition is unconditionally dead, so any batch placed on it is
+    /// censored at its recovery cutoff.
+    fn dead_fabric(topo: &Topology) -> LinkSchedule {
+        use mcag_simnet::{LinkId, LinkStateEvent};
+        LinkSchedule::new(
+            (0..topo.num_links() as u32)
+                .map(|l| LinkStateEvent::down(0, LinkId(l)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn faulted_batch_is_censored_not_panicked() {
+        // Oblivious runtime on a dead fabric: the batch hits its
+        // recovery cutoff and the job is recorded censored — no panic,
+        // no silent drop.
+        let topo = star(4);
+        let cfg = RuntimeConfig {
+            pool: PoolConfig::with_capacity(4),
+            partition_faults: vec![dead_fabric(&topo)],
+            watchdog_cutoffs: 4,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(topo, cfg);
+        let t = rt.register_tenant("victim");
+        rt.submit(t, JobKind::Allgather, 16 << 10).unwrap();
+        let report = rt.run_to_completion();
+        assert_eq!(report.completed_jobs(), 0);
+        assert_eq!(report.timed_out_jobs(), 1);
+        let rec = &report.jobs[0];
+        assert!(rec.timed_out);
+        assert_eq!(rec.attempts, 1);
+        assert_eq!(rec.delivered_bytes, 0);
+        assert!(rec.finished_ns > rec.started_ns, "censored at the cutoff");
+        assert_eq!(report.tenants[t.idx()].timed_out, 1);
+        assert_eq!(report.tenants[t.idx()].completed, 0);
+        assert_eq!(report.delivered_bytes, 0);
+        assert_eq!(report.retry.timed_out_batches, 1);
+        assert_eq!(report.retry.timed_out_slots, 1);
+        assert_eq!(report.retry.retried_jobs, 0, "oblivious: no retries");
+        assert_eq!(report.partitions[0].timeouts, 1);
+    }
+
+    #[test]
+    fn reactive_steering_avoids_damaged_partition() {
+        // Partition 0 carries a permanent outage, partition 1 is clean.
+        // The reactive scheduler's static SM telemetry quarantines the
+        // damaged domain, so every batch lands on partition 1 and
+        // nothing times out.
+        let topo = star(4);
+        let cfg = RuntimeConfig {
+            pool: PoolConfig::with_capacity(8),
+            max_inflight: 1,
+            partitions: 2,
+            partition_faults: vec![dead_fabric(&topo), LinkSchedule::empty()],
+            reactive: Some(ReactivePolicy::default()),
+            watchdog_cutoffs: 4,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(topo, cfg);
+        assert!(rt.partition_health_score(0) > 0);
+        assert_eq!(rt.partition_health_score(1), 0);
+        let a = rt.register_tenant("a");
+        let b = rt.register_tenant("b");
+        for i in 0..3u64 {
+            rt.submit_at(i * 200_000, a, JobKind::Allgather, 16 << 10);
+            rt.submit_at(i * 200_000, b, JobKind::Allgather, 16 << 10);
+        }
+        let report = rt.run_open_loop();
+        assert_eq!(report.completed_jobs(), 6);
+        assert_eq!(report.timed_out_jobs(), 0);
+        assert!(report.jobs.iter().all(|j| j.partition == 1));
+        assert_eq!(report.partitions[0].batches, 0, "damaged domain idles");
+        assert_eq!(report.retry, crate::stats::RetryStats::default());
+    }
+
+    #[test]
+    fn reactive_retry_recovers_on_healthy_partition() {
+        // Quarantine disabled: the scheduler still steers toward the
+        // healthy partition but will feed the damaged one when it is the
+        // only free domain. The sacrificed job times out, parks through
+        // its backoff, and the retry completes on the healthy partition.
+        let topo = star(4);
+        let cfg = RuntimeConfig {
+            pool: PoolConfig::with_capacity(8),
+            max_inflight: 1,
+            partitions: 2,
+            partition_faults: vec![dead_fabric(&topo), LinkSchedule::empty()],
+            reactive: Some(ReactivePolicy {
+                quarantine_score: u64::MAX,
+                ..ReactivePolicy::default()
+            }),
+            watchdog_cutoffs: 4,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(topo, cfg);
+        let a = rt.register_tenant("a");
+        let b = rt.register_tenant("b");
+        rt.submit_at(0, a, JobKind::Allgather, 16 << 10);
+        rt.submit_at(0, b, JobKind::Allgather, 16 << 10);
+        let report = rt.run_open_loop();
+        assert_eq!(report.completed_jobs(), 2, "both jobs finish eventually");
+        assert_eq!(report.timed_out_jobs(), 0);
+        assert_eq!(report.retry.timed_out_batches, 1);
+        assert_eq!(report.retry.retried_jobs, 1);
+        assert_eq!(report.retry.gave_up_jobs, 0);
+        assert!(report.retry.backoff_ns_sum > 0);
+        let retried = report
+            .jobs
+            .iter()
+            .find(|j| j.attempts == 2)
+            .expect("one job was retried");
+        assert_eq!(retried.partition, 1, "retry steered to the healthy domain");
+        assert_eq!(report.partitions[0].timeouts, 1);
+    }
+
+    #[test]
+    fn degraded_admission_sheds_under_retry_backlog() {
+        // Single damaged partition, huge backoff: the first job parks in
+        // the retry backlog, a later arrival is refused as Degraded
+        // (distinct from Throttled), and the exhausted retry is recorded
+        // censored.
+        let topo = star(4);
+        let cfg = RuntimeConfig {
+            pool: PoolConfig::with_capacity(4),
+            partition_faults: vec![dead_fabric(&topo)],
+            reactive: Some(ReactivePolicy {
+                max_attempts: 2,
+                backoff_base_ns: 1_000_000_000_000,
+                backoff_cap_ns: 1_000_000_000_000,
+                degrade_retry_backlog: Some(1),
+                ..ReactivePolicy::default()
+            }),
+            watchdog_cutoffs: 4,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(topo, cfg);
+        let a = rt.register_tenant("a");
+        let b = rt.register_tenant("b");
+        rt.submit_at(0, a, JobKind::Allgather, 16 << 10);
+        // Lands after the first batch is censored (well under the 1 ms
+        // backoff), while the retry backlog holds one job.
+        rt.submit_at(100_000_000_000, b, JobKind::Allgather, 16 << 10);
+        let report = rt.run_open_loop();
+        assert_eq!(report.rejects.degraded, 1, "arrival shed while degraded");
+        assert_eq!(report.tenants[b.idx()].rejected, 1);
+        assert_eq!(report.retry.retried_jobs, 1);
+        assert_eq!(report.retry.gave_up_jobs, 1, "retry budget exhausted");
+        assert_eq!(report.completed_jobs(), 0);
+        assert_eq!(report.timed_out_jobs(), 1);
+        assert_eq!(report.jobs[0].attempts, 2);
+    }
+
+    #[test]
+    fn sm_rebuild_reroutes_trees_on_a_dead_spine() {
+        // Two-spine fat tree with the multicast root's chassis dead from
+        // t = 0: the reactive SM sweep diagnoses it mid-batch and
+        // re-routes the tree over the surviving spine. The recovery is
+        // observable in the pool counters (billed rebuild) and in
+        // `RetryStats::sm_rebuilds`. A mid-batch rebuild cannot resurrect
+        // multicast data already dropped — the sweep period is at least
+        // one summed cutoff (~200 µs) while the datagrams fly in ~1 µs —
+        // so each attempt rebuilds once and is still censored; end-to-end
+        // recovery on a dead spine comes from steering retries onto
+        // healthy partitions, which this single-partition setup denies.
+        use mcag_simnet::{LinkId, LinkStateEvent, McastTree};
+        use mcag_verbs::McastGroupId;
+        let topo = Topology::fat_tree_two_level(8, 2, 2, 1, LinkRate::CX3_56G, 100);
+        let members: Vec<Rank> = (0..8).map(Rank).collect();
+        let victim = McastTree::build(&topo, McastGroupId(0), &members).root();
+        let faults = LinkSchedule::new(
+            (0..topo.num_links() as u32)
+                .map(LinkId)
+                .filter(|&l| {
+                    let lk = topo.link(l);
+                    lk.src == victim || lk.dst == victim
+                })
+                .map(|l| LinkStateEvent::down(0, l))
+                .collect(),
+        );
+        let cfg = RuntimeConfig {
+            pool: PoolConfig::with_capacity(4),
+            partition_faults: vec![faults],
+            reactive: Some(ReactivePolicy {
+                sm_check_cutoffs: 1,
+                ..ReactivePolicy::default()
+            }),
+            watchdog_cutoffs: 16,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(topo, cfg);
+        let t = rt.register_tenant("survivor");
+        rt.submit(t, JobKind::Allgather, 16 << 10).unwrap();
+        let report = rt.run_to_completion();
+        assert!(report.retry.sm_rebuilds >= 1, "SM re-routed the tree");
+        assert_eq!(
+            report.pool.rebuilds, report.retry.sm_rebuilds,
+            "every SM re-route billed through the pool"
+        );
+        assert_eq!(
+            report.retry.gave_up_jobs, 1,
+            "no healthy partition to flee to"
+        );
+        if let [rec] = &report.jobs[..] {
+            assert!(rec.timed_out, "dead spine censors every attempt");
+            assert_eq!(rec.attempts, ReactivePolicy::default().max_attempts);
+            // The record carries its *final* batch's rebuild count; the
+            // report totals rebuilds across all attempts.
+            assert_eq!(rec.sm_rebuilds, 1);
+            assert_eq!(report.retry.sm_rebuilds, rec.attempts as u64);
+        } else {
+            panic!("expected exactly one record");
+        }
+    }
+
+    #[test]
+    fn reactive_is_identical_to_oblivious_on_healthy_fabric() {
+        // With no faults the reactive machinery must be inert: same
+        // steering (all scores zero → lowest index), no retries, no SM
+        // sweeps — byte-identical reports.
+        let run = |reactive: Option<ReactivePolicy>| {
+            let cfg = RuntimeConfig {
+                pool: PoolConfig::with_capacity(6),
+                max_inflight: 2,
+                partitions: 2,
+                reactive,
+                ..RuntimeConfig::default()
+            };
+            let mut rt = Runtime::new(star(4), cfg);
+            let ids: Vec<TenantId> = (0..3)
+                .map(|i| rt.register_tenant(&format!("t{i}")))
+                .collect();
+            for (i, &t) in ids.iter().enumerate() {
+                for j in 0..3u64 {
+                    rt.submit_at(j * 250_000, t, JobKind::Allgather, (8 << 10) << (i % 2));
+                }
+            }
+            rt.run_open_loop()
+        };
+        let oblivious = run(None);
+        let reactive = run(Some(ReactivePolicy::default()));
+        assert_eq!(oblivious, reactive);
     }
 
     #[test]

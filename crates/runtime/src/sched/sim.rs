@@ -18,7 +18,6 @@ use std::sync::Arc;
 /// so formed batches can run on the fork-join executor; everything the
 /// run needs (topology, seeded fabric config, plans) is owned here.
 pub(super) struct BatchSim {
-    pub(super) index: u64,
     pub(super) topo: Topology,
     pub(super) fabric: FabricConfig,
     pub(super) proto: ProtocolConfig,
@@ -27,18 +26,50 @@ pub(super) struct BatchSim {
     /// Whether slot `i` also runs the in-network Reduce-Scatter half
     /// (collective id `2i + 2`).
     pub(super) with_rs: Vec<bool>,
+    /// Recovery cutoff, in multiples of the batch's summed per-job
+    /// cutoffs: a batch still running past this is censored, not
+    /// panicked ([`RuntimeConfig::watchdog_cutoffs`]).
+    ///
+    /// [`RuntimeConfig::watchdog_cutoffs`]:
+    ///     super::RuntimeConfig::watchdog_cutoffs
+    pub(super) watchdog_cutoffs: u64,
+    /// Reactive SM recovery: diagnose dead switches mid-run and re-route
+    /// multicast trees around them ([`ReactivePolicy::sm_rebuild`]).
+    ///
+    /// [`ReactivePolicy::sm_rebuild`]: super::ReactivePolicy::sm_rebuild
+    pub(super) sm_rebuild: bool,
+    /// Diagnosis period for the SM sweep, in summed-cutoff multiples
+    /// ([`ReactivePolicy::sm_check_cutoffs`]).
+    ///
+    /// [`ReactivePolicy::sm_check_cutoffs`]:
+    ///     super::ReactivePolicy::sm_check_cutoffs
+    pub(super) sm_check_cutoffs: u64,
 }
 
 /// What one simulated batch produced (simulated-time results only; the
 /// merge phase threads them onto the virtual service timeline).
 pub(super) struct BatchOutcome {
-    /// Fabric time from launch to quiescence.
+    /// Fabric time from launch to quiescence — or to the recovery
+    /// cutoff, when the batch timed out.
     pub(super) batch_ns: u64,
     /// Per-slot completion on the fabric clock: the last rank's AG
-    /// release or RS delivery, whichever is later.
+    /// release or RS delivery, whichever is later. Censored slots carry
+    /// the cutoff instant.
     pub(super) slot_done_ns: Vec<u64>,
+    /// True when the batch hit its recovery cutoff with work pending.
+    pub(super) timed_out: bool,
+    /// Per-slot censoring flags: slot `i` never finished (some rank's
+    /// collective was still open at the cutoff).
+    pub(super) slot_timed_out: Vec<bool>,
     /// Payload bytes moved across fabric links (switch-counter view).
     pub(super) moved_bytes: u64,
+    /// Packet copies lost to down links during the batch (0 on a
+    /// healthy fabric).
+    pub(super) fault_drops: u64,
+    /// Link downtime accrued during the batch, summed over links (ns).
+    pub(super) downtime_ns: u64,
+    /// Multicast trees the SM re-routed around dead switches mid-run.
+    pub(super) sm_rebuilds: u32,
     /// The batch fabric's harvested flight recorder (events on the
     /// batch's local clock; the merge phase shifts them).
     pub(super) trace: Option<TraceSink>,
@@ -129,41 +160,89 @@ pub(super) fn simulate_batch(sim: &BatchSim) -> BatchOutcome {
 
     // Batch watchdog: every job's cutoff already upper-bounds its drain
     // (headroom includes the batch size), so a batch still running
-    // orders of magnitude past the summed cutoffs is livelocked. The
-    // peek-based `run_until` stops cleanly at the deadline instead of
-    // grinding toward the event cap.
+    // orders of magnitude past the summed cutoffs is stuck — on a
+    // healthy fabric that is a livelock, on a faulted one it is a
+    // casualty. Either way the peek-based `run_until` stops cleanly at
+    // the deadline and the batch is *censored*: reported with the
+    // cutoff as its end time, never panicked, so the scheduler above
+    // can retry or record the loss.
     let total_cutoff: u64 = slots.iter().map(|s| s.cutoff).sum();
-    let watchdog = SimTime::from_ns(total_cutoff.saturating_mul(des::WATCHDOG_CUTOFFS));
-    let stats = fab.run_until(watchdog);
-    assert!(
-        stats.all_done(),
-        "batch {} did not quiesce by {watchdog} (next event at {:?}): {stats:?}",
-        sim.index,
-        fab.next_event_time()
-    );
-    let moved_bytes = fab.traffic().total_data_bytes();
+    let watchdog = SimTime::from_ns(total_cutoff.saturating_mul(sim.watchdog_cutoffs.max(1)));
+    let mut sm_rebuilds = 0u32;
+    let stats = if sim.sm_rebuild && !sim.fabric.faults.is_empty() {
+        // Reactive SM sweep: run in slices; at each checkpoint diagnose
+        // fully-dead switches from the health snapshot and re-route any
+        // multicast tree that crosses one. Checkpoint times are pure
+        // functions of the batch's cutoffs, so recovery is as
+        // deterministic as the failure.
+        let step = total_cutoff.saturating_mul(sim.sm_check_cutoffs.max(1));
+        let mut deadline = step.min(watchdog.as_ns());
+        loop {
+            let stats = fab.run_until(SimTime::from_ns(deadline));
+            if stats.all_done() || deadline >= watchdog.as_ns() {
+                break stats;
+            }
+            let dead = fab.dead_switches();
+            if !dead.is_empty() {
+                sm_rebuilds += fab.rebuild_groups_avoiding(&dead);
+            }
+            deadline = deadline.saturating_add(step).min(watchdog.as_ns());
+        }
+    } else {
+        fab.run_until(watchdog)
+    };
+    let timed_out = !stats.all_done();
+    let traffic = fab.traffic();
+    let moved_bytes = traffic.total_data_bytes();
+    let (fault_drops, downtime_ns) = if sim.fabric.faults.is_empty() {
+        (0, 0)
+    } else {
+        (traffic.total_fault_drops(), traffic.total_downtime_ns())
+    };
 
     // Harvest the owned per-app sinks: per slot, the last rank's AG
-    // release and RS delivery.
+    // release and RS delivery. A slot where any rank never finished is
+    // censored at the watchdog instant.
     let mut slot_done_ns = vec![0u64; slots.len()];
+    let mut slot_timed_out = vec![false; slots.len()];
     for &r in &members {
         let rank_slots = fab.take_app_as::<TenantMuxApp>(r).into_slots();
         for (i, slot_app) in rank_slots.into_iter().enumerate() {
             let done = match slot_app {
-                SlotApp::Coll(ag) => ag.timing().t_done.map_or(0, SimTime::as_ns),
+                SlotApp::Coll(ag) => ag.timing().t_done.map(SimTime::as_ns),
                 SlotApp::AgRs { ag, rs, .. } => {
-                    let ag_done = ag.timing().t_done.map_or(0, SimTime::as_ns);
-                    let rs_done = rs.times().map_or(0, |(_, end)| end.as_ns());
-                    ag_done.max(rs_done)
+                    let ag_done = ag.timing().t_done.map(SimTime::as_ns);
+                    let rs_done = rs.times().map(|(_, end)| end.as_ns());
+                    match (ag_done, rs_done) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        _ => None,
+                    }
                 }
             };
-            slot_done_ns[i] = slot_done_ns[i].max(done);
+            match done {
+                Some(t) => slot_done_ns[i] = slot_done_ns[i].max(t),
+                None => slot_timed_out[i] = true,
+            }
+        }
+    }
+    for (done, &censored) in slot_done_ns.iter_mut().zip(&slot_timed_out) {
+        if censored {
+            *done = watchdog.as_ns();
         }
     }
     BatchOutcome {
-        batch_ns: stats.end_time.as_ns(),
+        batch_ns: if timed_out {
+            watchdog.as_ns()
+        } else {
+            stats.end_time.as_ns()
+        },
         slot_done_ns,
+        timed_out,
+        slot_timed_out,
         moved_bytes,
+        fault_drops,
+        downtime_ns,
+        sm_rebuilds,
         trace: fab.take_trace(),
     }
 }

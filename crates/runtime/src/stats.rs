@@ -35,6 +35,14 @@ pub struct JobRecord {
     pub group_builds: u32,
     /// Groups programmed after evicting an LRU entry.
     pub group_rebuilds: u32,
+    /// Batch dispatches this job consumed (1 = first try completed;
+    /// >1 = the reactive scheduler re-formed it after timeouts).
+    pub attempts: u32,
+    /// True when the job never completed: `finished_ns` is the censoring
+    /// instant (its batch's recovery cutoff), not a completion.
+    pub timed_out: bool,
+    /// SM tree rebuilds charged to this job's final batch.
+    pub sm_rebuilds: u32,
 }
 
 impl JobRecord {
@@ -65,6 +73,13 @@ pub struct TenantStats {
     pub rejected: u64,
     /// Jobs completed.
     pub completed: u64,
+    /// Jobs that never completed: censored at their batch's recovery
+    /// cutoff (after retries were exhausted, on reactive runs).
+    pub timed_out: u64,
+    /// Sum of censored sojourns (submit → censoring instant) over
+    /// timed-out jobs (ns) — the lower bound on the latency those jobs
+    /// would have had, kept out of the completed-job means.
+    pub censored_ns_sum: u64,
     /// Sum of queueing delays over completed jobs (ns).
     pub queue_ns_sum: u64,
     /// Sum of service times over completed jobs (ns).
@@ -82,6 +97,8 @@ impl TenantStats {
             submitted: 0,
             rejected: 0,
             completed: 0,
+            timed_out: 0,
+            censored_ns_sum: 0,
             queue_ns_sum: 0,
             service_ns_sum: 0,
             delivered_bytes: 0,
@@ -127,6 +144,9 @@ pub struct RejectCounts {
     pub queue_full: u64,
     /// Per-tenant quota refusals.
     pub tenant_quota: u64,
+    /// Fault-degraded refusals: the reactive scheduler's retry backlog
+    /// exceeded its bound, so new work was shed to protect recovery.
+    pub degraded: u64,
 }
 
 impl RejectCounts {
@@ -141,6 +161,7 @@ impl RejectCounts {
             RejectReason::Throttled => self.throttled += 1,
             RejectReason::QueueFull => self.queue_full += 1,
             RejectReason::TenantQuota => self.tenant_quota += 1,
+            RejectReason::Degraded => self.degraded += 1,
         }
     }
 
@@ -154,6 +175,7 @@ impl RejectCounts {
             + self.throttled
             + self.queue_full
             + self.tenant_quota
+            + self.degraded
     }
 }
 
@@ -165,6 +187,13 @@ pub struct PartitionStats {
     /// Virtual time the partition spent serving batches (group setup +
     /// fabric run), ns.
     pub busy_ns: u64,
+    /// Packet copies lost to down links across this partition's batches.
+    pub fault_drops: u64,
+    /// Link downtime accrued during this partition's batches (ns,
+    /// summed over links).
+    pub downtime_ns: u64,
+    /// Batches that hit their recovery cutoff on this partition.
+    pub timeouts: u64,
 }
 
 impl PartitionStats {
@@ -175,6 +204,28 @@ impl PartitionStats {
         }
         self.busy_ns as f64 / makespan_ns as f64
     }
+}
+
+/// Recovery accounting for one run: all zero on a healthy fabric. On a
+/// faulted fabric the timeout counters accrue in every mode, while the
+/// retry/backoff/rebuild counters are the reactive scheduler's — an
+/// oblivious run leaves them zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryStats {
+    /// Batches that hit their recovery cutoff.
+    pub timed_out_batches: u64,
+    /// Job-slots censored at a batch cutoff (a job retried 3 times
+    /// counts 3 here and once in `JobRecord`).
+    pub timed_out_slots: u64,
+    /// Timed-out jobs re-formed into a later batch.
+    pub retried_jobs: u64,
+    /// Timed-out jobs whose retry budget ran out (recorded censored).
+    pub gave_up_jobs: u64,
+    /// Multicast trees the SM re-routed around dead switches.
+    pub sm_rebuilds: u64,
+    /// Backoff delay injected between a timeout and the retry becoming
+    /// eligible (ns, summed).
+    pub backoff_ns_sum: u64,
 }
 
 /// Snapshot of everything the runtime measured.
@@ -201,12 +252,20 @@ pub struct RuntimeReport {
     pub rejects: RejectCounts,
     /// Per-partition occupancy, indexed by partition.
     pub partitions: Vec<PartitionStats>,
+    /// Recovery accounting (zero on healthy/oblivious runs).
+    pub retry: RetryStats,
 }
 
 impl RuntimeReport {
-    /// Jobs completed.
+    /// Jobs completed (censored records excluded).
     pub fn completed_jobs(&self) -> usize {
-        self.jobs.len()
+        self.jobs.iter().filter(|j| !j.timed_out).count()
+    }
+
+    /// Jobs recorded censored: they never completed and their
+    /// `finished_ns` is the censoring instant.
+    pub fn timed_out_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.timed_out).count()
     }
 
     /// Group-pool hit rate in `[0, 1]`.
@@ -293,6 +352,9 @@ mod tests {
             group_hits: 0,
             group_builds: 1,
             group_rebuilds: 0,
+            attempts: 1,
+            timed_out: false,
+            sm_rebuilds: 0,
         };
         assert_eq!(r.queue_ns(), 300);
         assert_eq!(r.service_ns(), 600);
@@ -313,6 +375,7 @@ mod tests {
             offered_jobs: 0,
             rejects: RejectCounts::default(),
             partitions: Vec::new(),
+            retry: RetryStats::default(),
         };
         assert!((rep.sustained_tbps() - 1.0).abs() < 1e-9);
     }
@@ -333,6 +396,9 @@ mod tests {
             group_hits: 0,
             group_builds: 0,
             group_rebuilds: 0,
+            attempts: 1,
+            timed_out: false,
+            sm_rebuilds: 0,
         };
         let rep = RuntimeReport {
             jobs: (1..=100).map(|i| rec(0, i * 10)).collect(),
@@ -347,7 +413,9 @@ mod tests {
             partitions: vec![PartitionStats {
                 batches: 4,
                 busy_ns: 500,
+                ..PartitionStats::default()
             }],
+            retry: RetryStats::default(),
         };
         assert_eq!(rep.sojourn_percentile_ns(0.5), 500);
         assert_eq!(rep.sojourn_percentile_ns(0.99), 990);

@@ -30,6 +30,7 @@ use crate::app::{Ctx, Payload, RankApp};
 use crate::config::FabricConfig;
 use crate::counters::{LinkCounters, TrafficReport};
 use crate::event::EventQueue;
+use crate::health::{FabricHealth, LinkHealth};
 use crate::mcast::McastTree;
 use crate::routing::{self, descend, RouteMode};
 use crate::time::SimTime;
@@ -526,6 +527,79 @@ impl<M: Clone + 'static> Fabric<M> {
     /// Total packet copies lost to down links (fault injection).
     pub fn total_fault_drops(&self) -> u64 {
         self.inner.counters.iter().map(|c| c.fault_drops).sum()
+    }
+
+    /// Mid-run health snapshot: per-link up/down/degraded status plus
+    /// cumulative fault drops and downtime (open outages closed at the
+    /// current instant). Cheap — one pass over the counters, no event
+    /// scheduled, nothing reset. With no fault schedule configured every
+    /// link reports healthy.
+    pub fn health(&self) -> FabricHealth {
+        let counters = self.inner.counters_snapshot();
+        let rows = counters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let (up, degraded) = if self.inner.has_faults {
+                    let st = &self.inner.link_fault[i];
+                    (st.up, st.up && st.bw_num != st.bw_den)
+                } else {
+                    (true, false)
+                };
+                LinkHealth {
+                    up,
+                    degraded,
+                    fault_drops: c.fault_drops,
+                    downtime_ns: c.downtime_ns,
+                }
+            })
+            .collect();
+        FabricHealth::new(rows)
+    }
+
+    /// Switches whose every attached link is currently down — the SM's
+    /// rebuild trigger. Empty (without scanning) when no fault schedule
+    /// is configured.
+    pub fn dead_switches(&self) -> Vec<NodeId> {
+        if !self.inner.has_faults {
+            return Vec::new();
+        }
+        self.health().dead_switches(&self.inner.topo)
+    }
+
+    /// Subnet-manager recovery: re-route every programmed multicast group
+    /// whose tree touches a switch in `dead`, rebuilding it around the
+    /// full `dead` set. Returns the number of groups actually re-routed.
+    ///
+    /// A group whose members are unreachable without the dead switches
+    /// (no live root, or a member stranded behind one) keeps its old
+    /// tree — packets crossing the dead chassis keep paying the fault
+    /// cost until it recovers. Swapping a tree mid-run is safe: switches
+    /// consult `out_links` per packet hop, so copies already in flight
+    /// on the old tree simply stop being forwarded at the dead chassis,
+    /// exactly as they would have anyway.
+    ///
+    /// The simulated cost of the rebuild (SM programming time) is *not*
+    /// charged here — the caller owns the clock it runs batches on and
+    /// charges the `McastGroupPool` rebuild cost per re-routed group.
+    pub fn rebuild_groups_avoiding(&mut self, dead: &[NodeId]) -> u32 {
+        if dead.is_empty() {
+            return 0;
+        }
+        let mut rebuilt = 0;
+        for gi in 0..self.inner.trees.len() {
+            let tree = &self.inner.trees[gi];
+            if !tree.nodes().any(|n| dead.contains(&n)) {
+                continue;
+            }
+            let (group, members) = (tree.group(), tree.members().to_vec());
+            if let Some(fresh) = McastTree::build_avoiding(&self.inner.topo, group, &members, dead)
+            {
+                self.inner.trees[gi] = fresh;
+                rebuilt += 1;
+            }
+        }
+        rebuilt
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -1912,6 +1986,64 @@ mod tests {
         assert!(stats.all_done());
         assert!(stats.max_done().unwrap().as_ns() > window);
         assert_eq!(fab.total_fault_drops(), 0);
+    }
+
+    #[test]
+    fn sm_rebuild_routes_multicast_around_a_dead_spine() {
+        use crate::linkstate::{LinkSchedule, LinkStateEvent};
+        let topo = Topology::fat_tree_two_level(8, 2, 2, 1, LinkRate::CX3_56G, 100);
+        let members: Vec<Rank> = (0..8).map(Rank).collect();
+        // The SM roots group 0 at a hash-picked spine; kill exactly it.
+        let victim = McastTree::build(&topo, McastGroupId(0), &members).root();
+        let events: Vec<LinkStateEvent> = (0..topo.num_links() as u32)
+            .map(LinkId)
+            .filter(|&l| {
+                let lk = topo.link(l);
+                lk.src == victim || lk.dst == victim
+            })
+            .map(|l| LinkStateEvent::down(0, l))
+            .collect();
+        let mut cfg = FabricConfig::ideal();
+        cfg.faults = LinkSchedule::new(events);
+        let mut fab: Fabric<Msg> = Fabric::new(topo, cfg);
+        let group = fab.create_group(&members);
+        for &r in &members {
+            let qp = fab.add_qp(r, Transport::Ud, 0);
+            fab.attach(r, qp, group);
+            fab.set_app(
+                r,
+                Box::new(BcastApp {
+                    qp,
+                    group,
+                    n: 16,
+                    len: 4096,
+                    got: 0,
+                }),
+            );
+        }
+        // Let the fault transitions (t = 0) land, then let the SM notice
+        // and re-route — before the first copy reaches its leaf switch.
+        let stats = fab.run_until(SimTime(50));
+        assert!(!stats.all_done());
+        let dead = fab.dead_switches();
+        assert_eq!(dead, vec![victim], "chassis with every link down");
+        // 2 leaves × 1 rail × 2 directions touch the spine.
+        assert_eq!(fab.health().down_links(), 4);
+        assert_eq!(fab.rebuild_groups_avoiding(&dead), 1);
+        assert_eq!(fab.rebuild_groups_avoiding(&dead), 0, "already re-routed");
+        let stats = fab.run();
+        assert!(stats.all_done(), "rebuilt tree must deliver: {stats:?}");
+        assert_eq!(fab.total_fault_drops(), 0, "no copy touched the corpse");
+    }
+
+    #[test]
+    fn health_snapshot_is_all_up_without_faults() {
+        let (fab, _) = bcast_fabric(4, 0, FabricConfig::ideal());
+        let h = fab.health();
+        assert_eq!(h.down_links(), 0);
+        assert_eq!(h.total_fault_drops(), 0);
+        assert!(h.links().iter().all(|l| l.up && !l.degraded));
+        assert!(fab.dead_switches().is_empty());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod config;
 pub mod counters;
 pub mod event;
 pub mod fabric;
+pub mod health;
 pub mod linkstate;
 pub mod mcast;
 pub mod routing;
@@ -47,6 +48,7 @@ pub use config::{DropModel, FabricConfig, HostModel};
 pub use counters::{LinkCounters, TrafficReport};
 pub use event::{EventQueue, QueueBackend};
 pub use fabric::Fabric;
+pub use health::{FabricHealth, LinkHealth};
 pub use linkstate::{LinkSchedule, LinkStateEvent};
 pub use mcag_trace::{TraceEvent, TraceSink, TraceSpec};
 pub use mcast::McastTree;

@@ -52,9 +52,29 @@ impl McastTree {
     /// parallelism) over different core switches. For the back-to-back
     /// topology (no switches), the tree degenerates to the single cable.
     pub fn build(topo: &Topology, group: McastGroupId, members: &[Rank]) -> McastTree {
+        McastTree::build_avoiding(topo, group, members, &[])
+            .expect("tree build failed on a healthy fabric")
+    }
+
+    /// Build the spanning tree for `members`, routing around the switches
+    /// in `avoid` — the subnet manager's recovery path when a chassis on
+    /// an existing group's tree dies. With an empty `avoid` list the
+    /// candidate sets are identical to [`McastTree::build`], so the root
+    /// and rail hashes pick the same tree bit-for-bit.
+    ///
+    /// Returns `None` when no live root remains or some member is only
+    /// reachable through an avoided switch — the group stays on its old
+    /// (partially dead) tree in that case.
+    pub fn build_avoiding(
+        topo: &Topology,
+        group: McastGroupId,
+        members: &[Rank],
+        avoid: &[NodeId],
+    ) -> Option<McastTree> {
         assert!(members.len() >= 2, "multicast group needs ≥ 2 members");
         let member_set: HashSet<Rank> = members.iter().copied().collect();
         assert_eq!(member_set.len(), members.len(), "duplicate members");
+        let avoided = |n: NodeId| avoid.contains(&n);
 
         let mut adj: Vec<Vec<LinkId>> = vec![Vec::new(); topo.num_nodes()];
         let mut tree_nodes: Vec<NodeId> = Vec::new();
@@ -90,16 +110,30 @@ impl McastTree {
             add_edge(topo, l, &mut adj, &mut tree_nodes);
             edges += 1;
         } else {
-            let tops = topo.switches_at_level(top);
+            let tops: Vec<NodeId> = topo
+                .switches_at_level(top)
+                .into_iter()
+                .filter(|&s| !avoided(s))
+                .collect();
+            if tops.is_empty() {
+                return None;
+            }
             root = tops[(mix64(group.0 as u64) % tops.len() as u64) as usize];
             for &m in members {
                 // Unique down-path from root to member; among parallel
                 // rails pick by (group, member) hash so distinct subgroups
-                // spread over rails.
+                // spread over rails. Rails into an avoided switch are not
+                // candidates — the recovery tree must not touch it.
                 let mut at = root;
                 while !matches!(topo.kind(at), NodeKind::Host(r) if r == m) {
-                    let downs = topo.down_toward(at, m);
-                    assert!(!downs.is_empty(), "no down-path from {at:?} to {m}");
+                    let downs: Vec<LinkId> = topo
+                        .down_toward(at, m)
+                        .into_iter()
+                        .filter(|&l| !avoided(topo.link(l).dst))
+                        .collect();
+                    if downs.is_empty() {
+                        return None; // member only reachable through `avoid`
+                    }
                     let pick =
                         (mix64((group.0 as u64) << 32 | m.0 as u64) % downs.len() as u64) as usize;
                     let l = downs[pick];
@@ -128,7 +162,7 @@ impl McastTree {
             }
         }
 
-        McastTree {
+        Some(McastTree {
             group,
             members: members.to_vec(),
             member_set,
@@ -137,7 +171,7 @@ impl McastTree {
             edges,
             root,
             parent_link,
-        }
+        })
     }
 
     /// Group id.
@@ -346,6 +380,54 @@ mod tests {
         for h in &hosts {
             assert!(tree.is_member(*h), "non-member {h} received traffic");
         }
+    }
+
+    #[test]
+    fn avoiding_empty_matches_build_exactly() {
+        let topo = Topology::ucc_testbed();
+        let members = all_ranks(188);
+        for g in 0..4 {
+            let a = McastTree::build(&topo, McastGroupId(g), &members);
+            let b = McastTree::build_avoiding(&topo, McastGroupId(g), &members, &[]).unwrap();
+            assert_eq!(a.root(), b.root());
+            assert_eq!(a.adj, b.adj, "group {g}: avoid=[] must pick the same tree");
+        }
+    }
+
+    #[test]
+    fn rebuild_routes_around_a_dead_spine() {
+        let topo = Topology::fat_tree_two_level(8, 2, 2, 1, LinkRate::CX3_56G, 100);
+        let members = all_ranks(8);
+        let orig = McastTree::build(&topo, McastGroupId(0), &members);
+        let dead = orig.root(); // kill the spine the SM rooted the group at
+        let tree = McastTree::build_avoiding(&topo, McastGroupId(0), &members, &[dead])
+            .expect("other spine is alive");
+        assert_ne!(tree.root(), dead);
+        assert!(tree.nodes().all(|n| n != dead), "tree touches dead switch");
+        // Still a spanning tree reaching every other member once.
+        let visits = flood(&topo, &tree, Rank(0));
+        let hosts: HashSet<_> = visits
+            .iter()
+            .filter_map(|(n, _)| match topo.kind(*n) {
+                NodeKind::Host(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hosts.len(), 7);
+    }
+
+    #[test]
+    fn rebuild_fails_when_no_route_remains() {
+        let topo = Topology::fat_tree_two_level(8, 2, 2, 1, LinkRate::CX3_56G, 100);
+        let members = all_ranks(8);
+        let spines = topo.switches_at_level(topo.top_level());
+        assert!(
+            McastTree::build_avoiding(&topo, McastGroupId(0), &members, &spines).is_none(),
+            "no live spine, rebuild must refuse"
+        );
+        // A dead leaf strands its hosts: members under it are unreachable.
+        let leaf = topo.switches_at_level(1)[0];
+        assert!(McastTree::build_avoiding(&topo, McastGroupId(0), &members, &[leaf]).is_none());
     }
 
     #[test]

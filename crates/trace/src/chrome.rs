@@ -179,10 +179,25 @@ pub fn export_chrome(trace: &RuntimeTrace, opts: &ChromeOptions) -> String {
 
     for m in &trace.markers {
         let tid = if m.tenant == u32::MAX { 0 } else { m.tenant };
+        // Retry markers are recovery actions, not admission decisions.
+        let name = if m.reason == "job-retry" {
+            "job-retry".to_string()
+        } else {
+            format!("reject:{}", esc(m.reason))
+        };
         evs.push(format!(
-            r#"{{"ph":"i","pid":{PID_TENANTS},"tid":{tid},"ts":{},"s":"t","name":"reject:{}"}}"#,
-            us(m.at_ns),
-            esc(m.reason)
+            r#"{{"ph":"i","pid":{PID_TENANTS},"tid":{tid},"ts":{},"s":"t","name":"{name}"}}"#,
+            us(m.at_ns)
+        ));
+    }
+
+    for r in &trace.rebuilds {
+        evs.push(format!(
+            r#"{{"ph":"i","pid":{PID_SCHED},"tid":{},"ts":{},"s":"p","name":"sm-rebuild","args":{{"batch":{},"groups":{}}}}}"#,
+            r.partition,
+            us(r.at_ns),
+            r.batch,
+            r.groups
         ));
     }
 
@@ -349,7 +364,7 @@ fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
 mod tests {
     use super::*;
     use crate::event::DropCause;
-    use crate::span::{BatchSpan, JobSpan, Marker};
+    use crate::span::{BatchSpan, JobSpan, Marker, RebuildSpan};
 
     fn sample_trace() -> RuntimeTrace {
         let mut tr = RuntimeTrace::from_fabric(
@@ -415,6 +430,17 @@ mod tests {
             tenant: 0,
             reason: "throttled",
         });
+        tr.markers.push(Marker {
+            at_ns: 4200,
+            tenant: 1,
+            reason: "job-retry",
+        });
+        tr.rebuilds.push(RebuildSpan {
+            at_ns: 4300,
+            partition: 1,
+            batch: 0,
+            groups: 3,
+        });
         tr
     }
 
@@ -429,6 +455,10 @@ mod tests {
         assert!(doc.contains(r#""ts":1.000"#), "integer-µs inject ts");
         assert!(doc.contains("queue-depth"));
         assert!(doc.contains("reject:throttled"));
+        assert!(doc.contains(r#""name":"job-retry""#), "retry marker");
+        assert!(!doc.contains("reject:job-retry"), "retries are not rejects");
+        assert!(doc.contains(r#""name":"sm-rebuild""#));
+        assert!(doc.contains(r#""groups":3"#));
         assert!(doc.contains(r#"t\"2\""#), "names are escaped");
     }
 

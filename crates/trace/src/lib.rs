@@ -54,5 +54,5 @@ pub mod timeline;
 pub use chrome::{export_chrome, validate_json, ChromeOptions};
 pub use event::{DropCause, TraceEvent};
 pub use sink::{TraceSink, TraceSpec};
-pub use span::{BatchSpan, JobSpan, Marker, RuntimeTrace};
+pub use span::{BatchSpan, JobSpan, Marker, RebuildSpan, RuntimeTrace};
 pub use timeline::LinkTimeline;

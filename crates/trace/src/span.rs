@@ -65,6 +65,21 @@ impl JobSpan {
     }
 }
 
+/// One subnet-manager recovery action: mid-batch, dead switches were
+/// diagnosed and `groups` multicast trees were re-routed around them
+/// (rebuild cost charged on the virtual clock by the scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildSpan {
+    /// Virtual time the rebuild was charged at (batch dispatch time).
+    pub at_ns: u64,
+    /// Fabric partition (SM domain) the rebuild happened in.
+    pub partition: u32,
+    /// Batch whose run triggered the diagnosis.
+    pub batch: u64,
+    /// Multicast groups re-routed.
+    pub groups: u32,
+}
+
 /// Instant marker: an admission decision that refused work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Marker {
@@ -95,8 +110,12 @@ pub struct RuntimeTrace {
     pub batches: Vec<BatchSpan>,
     /// One span per completed job, in commit order.
     pub jobs: Vec<JobSpan>,
-    /// Admission reject/throttle markers, in decision order.
+    /// Admission reject/throttle markers, in decision order. Reactive
+    /// runs also append `"job-retry"` markers here when a timed-out job
+    /// is re-formed into a later batch.
     pub markers: Vec<Marker>,
+    /// SM tree-rebuild actions, in commit order.
+    pub rebuilds: Vec<RebuildSpan>,
 }
 
 impl RuntimeTrace {

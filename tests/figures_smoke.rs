@@ -94,6 +94,26 @@ fn faultfigs_smoke_shape() {
 }
 
 #[test]
+fn recoveryfigs_smoke_shape() {
+    let f = generate("recoveryfigs_smoke");
+    check(&f);
+    // One oblivious + one reactive row per (model, rate) pair, and the
+    // headline inequality holds in the rendered table too.
+    assert_eq!(f.rows.len() % 2, 0);
+    for pair in f.rows.chunks(2) {
+        let [obl, rea] = pair else { unreachable!() };
+        assert_eq!(obl[2], "oblivious");
+        assert_eq!(rea[2], "reactive");
+        assert_eq!((&obl[0], &obl[1]), (&rea[0], &rea[1]), "pairs misaligned");
+        let p999 = |r: &Vec<String>| r[10].parse::<f64>().unwrap();
+        assert!(p999(rea) < p999(obl), "reactive tail must win: {pair:?}");
+    }
+    for model in ["flapping", "switch"] {
+        assert!(f.rows.iter().any(|r| r[0] == model), "{model} missing");
+    }
+}
+
+#[test]
 #[ignore = "full 188-node sweep (~20 s in release); run with --ignored"]
 fn fig10_shape() {
     check(&generate("fig10"));

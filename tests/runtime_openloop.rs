@@ -163,6 +163,7 @@ fn pending(tenant: usize, id: u64, demand: u32) -> mcast_allgather::runtime::job
         },
         submitted_ns: 0,
         group_demand: demand,
+        attempt: 0,
     }
 }
 
