@@ -40,7 +40,11 @@
 //! zero-cost-when-off overhead cell — and write `BENCH_trace.json`,
 //! and `recoveryfigs` / `recoveryfigs_smoke` compare oblivious vs
 //! fault-aware scheduling on a damaged fabric partition (paired seeds,
-//! pooled sojourn tails) and write `BENCH_recovery.json`.
+//! pooled sojourn tails) and write `BENCH_recovery.json`, and
+//! `backendfigs` / `backendfigs_smoke` sweep the in-network compute
+//! backends (DPA, host CPU, FPGA SmartNIC, SHARP in-switch) over
+//! backend × collective × scale with NCCL-convention algbw/busbw rows
+//! and write `BENCH_backends.json`.
 //!
 //! Every sweep-shaped generator takes a `jobs` worker count and fans its
 //! independent simulations out through [`mcag_exec::par_map`]; outputs
@@ -51,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod backendfigs;
 pub mod data;
 pub mod dpafigs;
 pub mod faultfigs;
@@ -103,6 +108,8 @@ pub const PERF: &[&str] = &[
     "tracefigs_smoke",
     "recoveryfigs",
     "recoveryfigs_smoke",
+    "backendfigs",
+    "backendfigs_smoke",
 ];
 
 /// Run one generator by id, serially (`jobs = 1`).
@@ -146,6 +153,8 @@ pub fn generate_with(id: &str, jobs: usize) -> FigData {
         "tracefigs_smoke" => tracefigs::tracefigs_smoke(),
         "recoveryfigs" => recoveryfigs::recoveryfigs(),
         "recoveryfigs_smoke" => recoveryfigs::recoveryfigs_smoke(),
+        "backendfigs" => backendfigs::backendfigs(),
+        "backendfigs_smoke" => backendfigs::backendfigs_smoke(),
         other => {
             panic!("unknown figure id {other:?} (known: {ALL_FIGS:?} + {ABLATIONS:?} + {PERF:?})")
         }

@@ -10,6 +10,7 @@
 
 use crate::data::FigData;
 use mcag_exec::par_map;
+use mcag_models::algbw_gbps;
 use mcag_runtime::{JobKind, PoolConfig, Runtime, RuntimeConfig, RuntimeReport};
 use mcag_simnet::Topology;
 use mcag_verbs::LinkRate;
@@ -57,6 +58,7 @@ pub fn runtime_multitenant(jobs: usize) -> FigData {
             "mean queue (us)",
             "mean latency (us)",
             "makespan (ms)",
+            "algbw (Gbit/s)",
         ],
     );
     let mut scenarios = Vec::new();
@@ -83,6 +85,7 @@ pub fn runtime_multitenant(jobs: usize) -> FigData {
             format!("{queue_us:.1}"),
             format!("{:.1}", r.mean_latency_ns() / 1e3),
             format!("{:.2}", r.makespan_ns as f64 / 1e6),
+            format!("{:.1}", algbw_gbps(r.delivered_bytes, r.makespan_ns)),
         ]
     });
     for row in rows {

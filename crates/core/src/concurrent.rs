@@ -170,6 +170,148 @@ impl RankApp<ControlMsg> for IncRsApp {
     }
 }
 
+/// Endpoint-reduction Reduce-Scatter: the no-offload reference for the
+/// in-network backend comparison (`mcag-offload`). Every rank unicasts
+/// each foreign-shard chunk straight to the shard's owner, and the
+/// owner folds the `P − 1` contributions locally — so each owner's
+/// down-link carries `N·(P − 1)` operand bytes where the SHARP path
+/// carries `N` reduced bytes, the on-wire gap `backendfigs` measures.
+pub struct EndpointRsApp {
+    p: u32,
+    me: Rank,
+    shard_len: usize,
+    mtu: Mtu,
+    imm: ImmLayout,
+    coll: CollectiveId,
+    qp: QpNum,
+    chunks_per_shard: u32,
+    got: u32,
+    tx_done: bool,
+    released: bool,
+    auto_mark_done: bool,
+    token_base: u64,
+    t_start: SimTime,
+    t_done: Option<SimTime>,
+}
+
+impl EndpointRsApp {
+    /// Build the endpoint. `shard_len` is `N`, as for [`IncRsApp`];
+    /// `qp` must be the same rank-local QP number on every rank (SPMD
+    /// wiring), since contributions target the owner's twin QP.
+    pub fn new(
+        p: u32,
+        me: Rank,
+        shard_len: usize,
+        mtu: Mtu,
+        imm: ImmLayout,
+        coll: CollectiveId,
+        qp: QpNum,
+    ) -> EndpointRsApp {
+        EndpointRsApp {
+            p,
+            me,
+            shard_len,
+            mtu,
+            imm,
+            coll,
+            qp,
+            chunks_per_shard: mtu.chunks_for(shard_len) as u32,
+            got: 0,
+            tx_done: false,
+            released: false,
+            auto_mark_done: true,
+            token_base: 0,
+            t_start: SimTime::ZERO,
+            t_done: None,
+        }
+    }
+
+    /// Disable automatic `mark_done` (composite drivers).
+    pub fn set_auto_mark_done(&mut self, auto: bool) {
+        self.auto_mark_done = auto;
+    }
+
+    /// Namespace this instance's drain token (see
+    /// [`IncRsApp::set_token_base`]).
+    pub fn set_token_base(&mut self, base: u64) {
+        self.token_base = base;
+    }
+
+    /// Finished (all `P − 1` operand streams received and folded,
+    /// contributions drained)?
+    pub fn is_released(&self) -> bool {
+        self.released
+    }
+
+    /// `(start, end)` completion record (`None` until released).
+    pub fn times(&self) -> Option<(SimTime, SimTime)> {
+        self.t_done.map(|d| (self.t_start, d))
+    }
+
+    fn expected(&self) -> u32 {
+        (self.p - 1) * self.chunks_per_shard
+    }
+
+    fn maybe_done(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
+        if self.released || !self.tx_done || self.got < self.expected() {
+            return;
+        }
+        self.released = true;
+        self.t_done = Some(ctx.now());
+        if self.auto_mark_done {
+            ctx.mark_done();
+        }
+    }
+}
+
+impl RankApp<ControlMsg> for EndpointRsApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
+        self.t_start = ctx.now();
+        // Send every foreign shard's chunks straight to the owner:
+        // the same N(P−1) injection as the INC path, but the operands
+        // all converge on the owner's NIC instead of merging in-tree.
+        for shard in 0..self.p {
+            if shard == self.me.0 {
+                continue;
+            }
+            for c in 0..self.chunks_per_shard {
+                let psn = shard * self.chunks_per_shard + c;
+                let len = self.mtu.chunk_range(c, self.shard_len).len();
+                ctx.post_unicast_chunk(
+                    Rank(shard),
+                    self.qp,
+                    Some(self.imm.pack(self.coll, psn)),
+                    self.me,
+                    psn,
+                    len,
+                    true,
+                );
+            }
+        }
+        ctx.notify_tx_drained(self.qp, self.token_base + RS_TX_TOKEN);
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_, ControlMsg>, cqe: Cqe, _payload: Payload<ControlMsg>) {
+        assert_eq!(cqe.opcode, CqeOpcode::Recv);
+        let (coll, psn) = self.imm.unpack(cqe.imm.expect("operand chunk without imm"));
+        assert_eq!(coll, self.coll, "crossed collective traffic");
+        let shard = psn / self.chunks_per_shard;
+        assert_eq!(shard, self.me.0, "received an operand for a foreign shard");
+        self.got += 1;
+        self.maybe_done(ctx);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, ControlMsg>, _token: u64) {
+        unreachable!("endpoint RS arms no timers");
+    }
+
+    fn on_tx_drained(&mut self, ctx: &mut Ctx<'_, ControlMsg>, token: u64) {
+        assert_eq!(token, self.token_base + RS_TX_TOKEN);
+        self.tx_done = true;
+        self.maybe_done(ctx);
+    }
+}
+
 /// Composite endpoint: multicast Allgather and INC Reduce-Scatter running
 /// concurrently on one rank, dispatched by QP.
 pub struct AgRsDuplexApp {
@@ -393,6 +535,187 @@ pub fn run_inc_reduce_scatter(
     }
 }
 
+/// Composite endpoint: multicast Allgather and *endpoint-reduction*
+/// Reduce-Scatter concurrently on one rank (the no-offload twin of
+/// [`AgRsDuplexApp`], for the `mcag-offload` backend comparison).
+pub struct AgRsEndpointDuplexApp {
+    ag: McastRankApp,
+    rs: EndpointRsApp,
+    rs_qp: QpNum,
+    marked: bool,
+}
+
+impl AgRsEndpointDuplexApp {
+    /// Compose the two endpoints (both must have auto-mark-done off).
+    pub fn new(mut ag: McastRankApp, mut rs: EndpointRsApp, rs_qp: QpNum) -> AgRsEndpointDuplexApp {
+        ag.set_auto_mark_done(false);
+        rs.set_auto_mark_done(false);
+        AgRsEndpointDuplexApp {
+            ag,
+            rs,
+            rs_qp,
+            marked: false,
+        }
+    }
+
+    fn maybe_mark(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
+        if !self.marked && self.ag.is_released() && self.rs.is_released() {
+            self.marked = true;
+            ctx.mark_done();
+        }
+    }
+
+    /// Decompose into the two endpoints (harvest path).
+    pub fn into_parts(self) -> (McastRankApp, EndpointRsApp) {
+        (self.ag, self.rs)
+    }
+}
+
+impl RankApp<ControlMsg> for AgRsEndpointDuplexApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, ControlMsg>) {
+        self.ag.on_start(ctx);
+        self.rs.on_start(ctx);
+    }
+
+    fn on_cqe(&mut self, ctx: &mut Ctx<'_, ControlMsg>, cqe: Cqe, payload: Payload<ControlMsg>) {
+        if cqe.qp == self.rs_qp {
+            self.rs.on_cqe(ctx, cqe, payload);
+        } else {
+            self.ag.on_cqe(ctx, cqe, payload);
+        }
+        self.maybe_mark(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, ControlMsg>, token: u64) {
+        self.ag.on_timer(ctx, token);
+        self.maybe_mark(ctx);
+    }
+
+    fn on_tx_drained(&mut self, ctx: &mut Ctx<'_, ControlMsg>, token: u64) {
+        if token == RS_TX_TOKEN {
+            self.rs.on_tx_drained(ctx, token);
+        } else {
+            self.ag.on_tx_drained(ctx, token);
+        }
+        self.maybe_mark(ctx);
+    }
+}
+
+/// Run the endpoint-reduction Reduce-Scatter alone: same `N(P−1)`
+/// injection as [`run_inc_reduce_scatter`], but operands converge on
+/// each owner's NIC and fold there (no fabric compute, no aggregation
+/// table). The wire-traffic delta against the INC run is the SHARP
+/// backend's advantage.
+pub fn run_endpoint_reduce_scatter(
+    topo: Topology,
+    fabric_cfg: FabricConfig,
+    mtu: Mtu,
+    shard_len: usize,
+) -> ConcurrentOutcome {
+    let p = topo.num_hosts() as u32;
+    let mut fab: Fabric<ControlMsg> = Fabric::new(topo, fabric_cfg);
+    let members: Vec<Rank> = (0..p).map(Rank).collect();
+    for &r in &members {
+        let qp = fab.add_qp(r, mcag_verbs::Transport::Rc, 0);
+        fab.set_app(
+            r,
+            Box::new(EndpointRsApp::new(
+                p,
+                r,
+                shard_len,
+                mtu,
+                ImmLayout::DEFAULT,
+                CollectiveId(3),
+                qp,
+            )),
+        );
+    }
+    let stats = fab.run();
+    let traffic = fab.traffic();
+    let rs_times = members
+        .iter()
+        .map(|&r| fab.take_app_as::<EndpointRsApp>(r).times())
+        .collect();
+    ConcurrentOutcome {
+        ag_timings: Vec::new(),
+        rs_times,
+        stats,
+        traffic,
+    }
+}
+
+/// Run `{AG_mc, RS_endpoint}` concurrently: the no-offload twin of
+/// [`run_concurrent_ag_rs`] — identical Allgather, but the
+/// Reduce-Scatter's operands are unicast to their owners and reduced
+/// on the endpoints instead of in the switches.
+pub fn run_concurrent_ag_rs_endpoint(
+    topo: Topology,
+    fabric_cfg: FabricConfig,
+    proto: ProtocolConfig,
+    send_len: usize,
+) -> ConcurrentOutcome {
+    let p = topo.num_hosts() as u32;
+    let plan = Arc::new(CollectivePlan::new(
+        CollectiveKind::Allgather,
+        p,
+        send_len,
+        proto.mtu,
+        proto.imm,
+        CollectiveId(1),
+        proto.subgroups,
+        proto.chains,
+    ));
+    let mut fab: Fabric<ControlMsg> = Fabric::new(topo, fabric_cfg.clone());
+    let cutoff = crate::des::cutoff_ns(fab.topology(), &plan, &proto, 3);
+
+    let members: Vec<Rank> = (0..p).map(Rank).collect();
+    let n_workers = fabric_cfg.host.rx_workers.max(1);
+    let ag_groups: Vec<_> = (0..plan.num_subgroups())
+        .map(|_| fab.create_group(&members))
+        .collect();
+
+    for &r in &members {
+        let ctrl = fab.add_qp(r, mcag_verbs::Transport::Rc, 0);
+        let mut subgroup_qps = Vec::new();
+        for (j, &g) in ag_groups.iter().enumerate() {
+            let qp = fab.add_qp(r, mcag_verbs::Transport::Ud, j % n_workers);
+            fab.attach(r, qp, g);
+            subgroup_qps.push(qp);
+        }
+        // SPMD wiring gives the RS QP the same number on every rank,
+        // so contributions can target the owner's twin QP directly.
+        let rs_qp = fab.add_qp(r, mcag_verbs::Transport::Rc, 0);
+        let ag = McastRankApp::new(
+            Arc::clone(&plan),
+            r,
+            QpLayout {
+                ctrl,
+                subgroup_qps,
+                groups: ag_groups.clone(),
+            },
+            cutoff,
+        );
+        let rs = EndpointRsApp::new(p, r, send_len, proto.mtu, proto.imm, CollectiveId(3), rs_qp);
+        fab.set_app(r, Box::new(AgRsEndpointDuplexApp::new(ag, rs, rs_qp)));
+    }
+
+    let stats = fab.run();
+    let traffic = fab.traffic();
+    let mut ag_timings = Vec::with_capacity(p as usize);
+    let mut rs_times = Vec::with_capacity(p as usize);
+    for &r in &members {
+        let (ag, rs) = fab.take_app_as::<AgRsEndpointDuplexApp>(r).into_parts();
+        ag_timings.push(ag.timing());
+        rs_times.push(rs.times());
+    }
+    ConcurrentOutcome {
+        ag_timings,
+        rs_times,
+        stats,
+        traffic,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +752,46 @@ mod tests {
         let total = out.traffic.total_data_bytes();
         // P uplinks x N(P-1) + P downlinks x N.
         assert_eq!(total, p * n * (p - 1) + p * n);
+    }
+
+    #[test]
+    fn endpoint_reduce_scatter_completes() {
+        let out =
+            run_endpoint_reduce_scatter(star(6), FabricConfig::ucc_default(), Mtu::IB_4K, 64 << 10);
+        assert!(out.stats.all_done(), "{:?}", out.stats);
+        for t in out.rs_times.iter() {
+            assert!(t.is_some());
+        }
+    }
+
+    #[test]
+    fn endpoint_rs_pays_the_operand_convergence_on_the_wire() {
+        // Endpoint reduction: uplinks still carry N(P-1) each, but
+        // every owner's downlink now carries the full P-1 operand
+        // streams (N(P-1) bytes) instead of one reduced shard (N).
+        let n: u64 = 64 << 10;
+        let p = 6u64;
+        let endpoint = run_endpoint_reduce_scatter(
+            star(p as usize),
+            FabricConfig::ideal(),
+            Mtu::IB_4K,
+            n as usize,
+        );
+        assert_eq!(
+            endpoint.traffic.total_data_bytes(),
+            2 * p * n * (p - 1),
+            "P uplinks and P downlinks each moving N(P-1)"
+        );
+        let inc = run_inc_reduce_scatter(
+            star(p as usize),
+            FabricConfig::ideal(),
+            Mtu::IB_4K,
+            n as usize,
+        );
+        assert!(
+            inc.traffic.total_data_bytes() < endpoint.traffic.total_data_bytes(),
+            "in-switch reduction must move fewer bytes"
+        );
     }
 
     #[test]

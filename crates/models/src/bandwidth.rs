@@ -1,0 +1,83 @@
+//! NCCL-convention bandwidth reporting: algorithmic vs bus bandwidth.
+//!
+//! `nccl-tests` reports two numbers per collective. **Algorithmic
+//! bandwidth** is what the application feels: the collective's data
+//! size over its completion time. **Bus bandwidth** rescales algbw by
+//! a collective-specific factor so the number is comparable across
+//! collectives and to the hardware's link rate — it answers "how hard
+//! did the wires work", independent of how much of the traffic was
+//! algorithmically necessary. The factors below are the nccl-tests
+//! conventions; `backendfigs` and `runtimefigs` report through these
+//! helpers instead of ad-hoc Tbit/s math.
+
+/// Collective shape, for the bus-bandwidth factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveOp {
+    /// One root's buffer to every rank.
+    Broadcast,
+    /// Every rank's buffer to every rank.
+    Allgather,
+    /// Every rank contributes, each rank keeps one reduced shard.
+    ReduceScatter,
+    /// Reduce + broadcast of the result.
+    AllReduce,
+}
+
+impl CollectiveOp {
+    /// Bus-bandwidth factor at `p` ranks: `busbw = algbw × factor`
+    /// (nccl-tests conventions — AG/RS `(P−1)/P`, AllReduce
+    /// `2(P−1)/P`, Broadcast 1).
+    pub fn bus_factor(self, p: u32) -> f64 {
+        assert!(p >= 1, "collective over zero ranks");
+        let p = p as f64;
+        match self {
+            CollectiveOp::Broadcast => 1.0,
+            CollectiveOp::Allgather | CollectiveOp::ReduceScatter => (p - 1.0) / p,
+            CollectiveOp::AllReduce => 2.0 * (p - 1.0) / p,
+        }
+    }
+}
+
+/// Algorithmic bandwidth in Gbit/s: `bytes` of collective data moved
+/// end-to-end in `ns` nanoseconds. For an Allgather, `bytes` is the
+/// full gathered buffer (`N·P`); for Broadcast, the root's buffer;
+/// for Reduce-Scatter, the input vector (`N·P`).
+pub fn algbw_gbps(bytes: u64, ns: u64) -> f64 {
+    if ns == 0 {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / ns as f64
+}
+
+/// Bus bandwidth in Gbit/s: [`algbw_gbps`] rescaled by the
+/// collective's factor at `p` ranks.
+pub fn busbw_gbps(op: CollectiveOp, p: u32, bytes: u64, ns: u64) -> f64 {
+    algbw_gbps(bytes, ns) * op.bus_factor(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algbw_units() {
+        // 125 MB in 1 ms = 1 Tbit/s = 1000 Gbit/s.
+        assert!((algbw_gbps(125_000_000, 1_000_000) - 1000.0).abs() < 1e-9);
+        assert_eq!(algbw_gbps(1, 0), 0.0);
+    }
+
+    #[test]
+    fn nccl_factors() {
+        assert_eq!(CollectiveOp::Broadcast.bus_factor(8), 1.0);
+        assert!((CollectiveOp::Allgather.bus_factor(8) - 7.0 / 8.0).abs() < 1e-12);
+        assert!((CollectiveOp::ReduceScatter.bus_factor(2) - 0.5).abs() < 1e-12);
+        assert!((CollectiveOp::AllReduce.bus_factor(8) - 14.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busbw_composes() {
+        let alg = algbw_gbps(1 << 20, 10_000);
+        let bus = busbw_gbps(CollectiveOp::Allgather, 4, 1 << 20, 10_000);
+        assert!((bus - alg * 0.75).abs() < 1e-9);
+    }
+}

@@ -9,14 +9,19 @@
 //!   the real topology and routing, not a back-of-envelope formula).
 //! * [`node_boundary`] — Fig. 3: per-NIC send/receive volumes of the
 //!   `{ring, ring}` vs. `{multicast, in-network-compute}` configurations.
+//! * [`bandwidth`] — NCCL-convention algorithmic/bus bandwidth
+//!   reporting (`busbw = algbw × collective factor`), shared by the
+//!   bench generators.
 
 #![warn(missing_docs)]
 
+pub mod bandwidth;
 pub mod node_boundary;
 pub mod sizing;
 pub mod speedup;
 pub mod traffic;
 
+pub use bandwidth::{algbw_gbps, busbw_gbps, CollectiveOp};
 pub use sizing::{BitmapSizing, DPA_LLC_BYTES};
 pub use speedup::{concurrent_speedup, BandwidthShares};
 pub use traffic::{allgather_traffic, broadcast_traffic, TrafficModel};

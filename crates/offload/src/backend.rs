@@ -1,0 +1,201 @@
+//! The [`OffloadBackend`] trait and the [`BackendKind`] selector enum.
+
+use crate::{cpu::HostCpuBackend, dpa::DpaBackend, fpga::FpgaBackend, sharp::SharpBackend};
+use mcag_dpa::{ArrivalModel, DatapathMetrics};
+use mcag_simnet::HostModel;
+use serde::{Deserialize, Serialize};
+
+/// Where a backend's collective compute physically runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// On the endpoint NIC's embedded processor (DPA, FPGA lanes):
+    /// receive handlers run next to the DMA engine, the host CPU is
+    /// out of the per-chunk path.
+    EndpointNic,
+    /// On a host core (the UCX-style progress-thread baseline): every
+    /// CQE crosses PCIe and consumes host cycles.
+    HostCore,
+    /// Inside fabric switches on the multicast tree (SHARP-style):
+    /// partial aggregates merge on the up-path, endpoints only post
+    /// contributions and receive one result.
+    InSwitch,
+}
+
+/// Capacity limits of a backend — the scarce resources a scheduler
+/// must pack, analogous to the switch MGID table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendLimits {
+    /// Concurrent execution contexts (hardware threads, pipeline
+    /// lanes, aggregation units) available for receive handlers.
+    pub contexts: u32,
+    /// For in-switch backends: bounded per-switch aggregation-table
+    /// entries — live `(group, psn)` reduction states a switch can
+    /// hold. `None` for endpoint backends (no fabric-resident state).
+    pub aggregation_entries: Option<usize>,
+}
+
+/// Which receive datapath a cost query models. Mirrors the two
+/// transports of the paper's Table I: UD needs the staging→user copy
+/// (loopback DMA on the DPA, CPU memcpy on the host), UC writes user
+/// memory directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatapathTransport {
+    /// Unreliable Datagram: multicast-capable, pays the extra copy.
+    Ud,
+    /// Unreliable Connected: zero-copy placement.
+    Uc,
+}
+
+/// One in-network compute backend: where collective compute runs and
+/// what it costs on the virtual clock.
+///
+/// The contract has two halves. [`OffloadBackend::datapath`] is the
+/// *device-level* cost model — chunks through the backend's receive
+/// pipeline, measured like `mcag-dpa`'s Table I. [`OffloadBackend::
+/// host_model`] *compiles* that model into the per-CQE endpoint cost
+/// the DES fabric charges, so a backend plugs into any existing
+/// driver through `FabricConfig.host`. Both are deterministic pure
+/// functions: identical inputs give identical outputs on every host.
+pub trait OffloadBackend {
+    /// Human-readable backend name (stable; used in bench tables).
+    fn name(&self) -> &'static str;
+
+    /// The selector that instantiates this backend.
+    fn kind(&self) -> BackendKind;
+
+    /// Where the compute runs.
+    fn placement(&self) -> Placement;
+
+    /// Capacity limits.
+    fn limits(&self) -> BackendLimits;
+
+    /// One-time provisioning cost before the first collective can use
+    /// the backend (kernel load, partial reconfiguration, SM
+    /// aggregation-tree programming). Charged once per service, not
+    /// per chunk.
+    fn setup_ns(&self) -> u64;
+
+    /// Run `chunks` chunks of `chunk_bytes` through the backend's
+    /// receive datapath on `threads` contexts under `arrival`,
+    /// returning Table-I-style metrics.
+    fn datapath(
+        &self,
+        transport: DatapathTransport,
+        threads: u32,
+        chunk_bytes: usize,
+        chunks: u64,
+        arrival: ArrivalModel,
+    ) -> DatapathMetrics;
+
+    /// Compile this backend into the endpoint cost model the fabric
+    /// charges per CQE for `chunk_bytes` chunks (MTU-sized in
+    /// practice). Deterministic: derived from a fixed saturated
+    /// calibration run of [`OffloadBackend::datapath`].
+    fn host_model(&self, chunk_bytes: usize) -> HostModel;
+}
+
+/// Chunk count of the saturated calibration run behind
+/// [`OffloadBackend::host_model`] — enough to wash out pipeline-fill
+/// transients, small enough to be negligible at config time.
+pub const CALIBRATION_CHUNKS: u64 = 2_048;
+
+/// Plain-data backend selector: what configs store and serialize
+/// (trait objects do not fit in a `Clone + PartialEq` config).
+/// [`BackendKind::instantiate`] produces the live model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// BlueField-3 DPA barrel processor (the paper's device).
+    DpaBf3,
+    /// Host-CPU progress thread (the Fig. 5 baseline).
+    HostCpu,
+    /// Deep-pipelined FPGA SmartNIC lanes.
+    FpgaSmartNic,
+    /// SHARP-style in-switch reduction.
+    SharpSwitch,
+}
+
+impl BackendKind {
+    /// Every backend, in bench-table order.
+    pub const ALL: [BackendKind; 4] = [
+        BackendKind::DpaBf3,
+        BackendKind::HostCpu,
+        BackendKind::FpgaSmartNic,
+        BackendKind::SharpSwitch,
+    ];
+
+    /// Instantiate the backend's cost model (default specs).
+    pub fn instantiate(self) -> Box<dyn OffloadBackend> {
+        match self {
+            BackendKind::DpaBf3 => Box::new(DpaBackend::bf3()),
+            BackendKind::HostCpu => Box::new(HostCpuBackend::new()),
+            BackendKind::FpgaSmartNic => Box::new(FpgaBackend::default_nic()),
+            BackendKind::SharpSwitch => Box::new(SharpBackend::quantum_class()),
+        }
+    }
+
+    /// Stable short label for tables and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::DpaBf3 => "dpa_bf3",
+            BackendKind::HostCpu => "host_cpu",
+            BackendKind::FpgaSmartNic => "fpga_smartnic",
+            BackendKind::SharpSwitch => "sharp_switch",
+        }
+    }
+
+    /// Convenience: the endpoint cost model of the default-spec
+    /// backend (see [`OffloadBackend::host_model`]).
+    pub fn host_model(self, chunk_bytes: usize) -> HostModel {
+        self.instantiate().host_model(chunk_bytes)
+    }
+
+    /// Convenience: in-switch aggregation-table bound, `None` for
+    /// endpoint backends (see [`BackendLimits::aggregation_entries`]).
+    pub fn aggregation_entries(self) -> Option<usize> {
+        self.instantiate().limits().aggregation_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_instantiates_consistently() {
+        for kind in BackendKind::ALL {
+            let be = kind.instantiate();
+            assert_eq!(be.kind(), kind);
+            assert!(!be.name().is_empty());
+            assert!(be.limits().contexts >= 1);
+            let hm = be.host_model(4096);
+            assert!(hm.rq_depth > 0);
+            // In-switch backends, and only they, hold fabric state.
+            assert_eq!(
+                be.limits().aggregation_entries.is_some(),
+                be.placement() == Placement::InSwitch
+            );
+        }
+    }
+
+    #[test]
+    fn host_models_are_deterministic() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.host_model(4096), kind.host_model(4096));
+        }
+    }
+
+    #[test]
+    fn offloaded_backends_beat_the_host_cpu_per_cqe() {
+        let cpu = BackendKind::HostCpu.host_model(4096);
+        for kind in [BackendKind::DpaBf3, BackendKind::FpgaSmartNic] {
+            let hm = kind.host_model(4096);
+            assert!(
+                hm.rx_proc_ns_per_cqe < cpu.rx_proc_ns_per_cqe,
+                "{:?} per-CQE {} ns should undercut host CPU {} ns",
+                kind,
+                hm.rx_proc_ns_per_cqe,
+                cpu.rx_proc_ns_per_cqe
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The host-CPU baseline, re-homed: a UCX-style progress thread on
+//! one x86 core (the Fig. 5 comparison point).
+
+use crate::backend::{
+    BackendKind, BackendLimits, DatapathTransport, OffloadBackend, Placement, CALIBRATION_CHUNKS,
+};
+use crate::dpa::compile_host_model;
+use mcag_dpa::{run_datapath, ArrivalModel, DatapathMetrics, DpaSpec, Kernel, KernelKind};
+use mcag_simnet::HostModel;
+
+/// Host-CPU backend: the same receive handlers run on a wide
+/// out-of-order core with no hardware threads, including the
+/// software-reliability and memcpy work of the UCX UD stack.
+/// Delegates to [`mcag_dpa::run_datapath`] on
+/// [`DpaSpec::host_cpu`], byte-identically to the pre-refactor
+/// baseline figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostCpuBackend {
+    spec: DpaSpec,
+}
+
+impl HostCpuBackend {
+    /// One 2.6 GHz x86 core, as in the DPA testbed host.
+    pub fn new() -> HostCpuBackend {
+        HostCpuBackend {
+            spec: DpaSpec::host_cpu(),
+        }
+    }
+
+    /// Hardware spec handle.
+    pub fn spec(&self) -> &DpaSpec {
+        &self.spec
+    }
+}
+
+impl Default for HostCpuBackend {
+    fn default() -> HostCpuBackend {
+        HostCpuBackend::new()
+    }
+}
+
+impl OffloadBackend for HostCpuBackend {
+    fn name(&self) -> &'static str {
+        "host CPU (UCX progress)"
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::HostCpu
+    }
+
+    fn placement(&self) -> Placement {
+        Placement::HostCore
+    }
+
+    fn limits(&self) -> BackendLimits {
+        BackendLimits {
+            contexts: self.spec.total_threads(),
+            aggregation_entries: None,
+        }
+    }
+
+    fn setup_ns(&self) -> u64 {
+        // The progress thread already runs; nothing to provision.
+        0
+    }
+
+    fn datapath(
+        &self,
+        transport: DatapathTransport,
+        threads: u32,
+        chunk_bytes: usize,
+        chunks: u64,
+        arrival: ArrivalModel,
+    ) -> DatapathMetrics {
+        let kind = match transport {
+            DatapathTransport::Ud => KernelKind::CpuUdUcx,
+            DatapathTransport::Uc => KernelKind::CpuRcCustom,
+        };
+        run_datapath(
+            &self.spec,
+            &Kernel::new(kind),
+            threads,
+            chunk_bytes,
+            chunks,
+            arrival,
+        )
+    }
+
+    fn host_model(&self, chunk_bytes: usize) -> HostModel {
+        let m = self.datapath(
+            DatapathTransport::Ud,
+            1,
+            chunk_bytes,
+            CALIBRATION_CHUNKS,
+            ArrivalModel::Saturated,
+        );
+        compile_host_model(&m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_context_and_no_fabric_state() {
+        let be = HostCpuBackend::new();
+        assert_eq!(be.limits().contexts, 1);
+        assert_eq!(be.limits().aggregation_entries, None);
+    }
+
+    #[test]
+    fn ud_pays_the_staging_copy() {
+        let be = HostCpuBackend::new();
+        let ud = be.datapath(
+            DatapathTransport::Ud,
+            1,
+            4096,
+            2_000,
+            ArrivalModel::Saturated,
+        );
+        let uc = be.datapath(
+            DatapathTransport::Uc,
+            1,
+            4096,
+            2_000,
+            ArrivalModel::Saturated,
+        );
+        assert!(ud.gib_per_s < uc.gib_per_s);
+    }
+}

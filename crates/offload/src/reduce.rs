@@ -1,0 +1,64 @@
+//! Reduction algebra behind partial-aggregate forwarding.
+//!
+//! An in-switch reduction is correct only because the operator is
+//! associative and commutative: a switch may fold any subset of child
+//! contributions into a partial aggregate and forward it up, and the
+//! root still produces the same result as a flat endpoint fold. These
+//! helpers state that algebra over the repo's canonical payload
+//! digest (wrapping `u64` sums); the property test on random tree
+//! shapes lives in `tests/backends_determinism.rs`, and the DES-level
+//! twin (in-switch vs endpoint reduction on a live fabric) is checked
+//! there too.
+
+/// Endpoint reduction: one rank folds every contribution locally.
+pub fn flat_reduce(values: &[u64]) -> u64 {
+    values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v))
+}
+
+/// In-switch reduction over an arbitrary aggregation tree.
+///
+/// Node `i`'s parent is `parent[i]` with `parent[i] < i` (node 0 is
+/// the root; `parent[0]` is ignored), and `values[i]` is the
+/// contribution entering the tree at node `i` (0 for pure-relay
+/// switches). Each node folds its children's partial aggregates into
+/// its own contribution and forwards one value up — the
+/// `reduce_at_switch` behaviour, minus the clock.
+pub fn tree_reduce(parent: &[usize], values: &[u64]) -> u64 {
+    assert_eq!(parent.len(), values.len());
+    assert!(!values.is_empty(), "reduction over an empty tree");
+    let mut acc = values.to_vec();
+    for i in (1..acc.len()).rev() {
+        let p = parent[i];
+        assert!(p < i, "parent[{i}] = {p} is not above its child");
+        acc[p] = acc[p].wrapping_add(acc[i]);
+    }
+    acc[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_and_chain_agree_with_flat() {
+        let vals = [7u64, 11, u64::MAX - 2, 13];
+        let star = [0usize, 0, 0, 0];
+        let chain = [0usize, 0, 1, 2];
+        assert_eq!(tree_reduce(&star, &vals), flat_reduce(&vals));
+        assert_eq!(tree_reduce(&chain, &vals), flat_reduce(&vals));
+    }
+
+    #[test]
+    fn relay_switches_contribute_nothing() {
+        // root <- relay <- {leaf, leaf}: relay has value 0.
+        let parent = [0usize, 0, 1, 1];
+        let values = [5u64, 0, 9, 23];
+        assert_eq!(tree_reduce(&parent, &values), 37);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_edges_are_rejected() {
+        tree_reduce(&[0, 2, 0], &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,166 @@
+//! SHARP-style in-switch reduction backend.
+//!
+//! Compute moves off the endpoints entirely: switches on the
+//! multicast tree merge contributions on the up-path (`mcag-simnet`'s
+//! `IncUp` route state and `reduce_at_switch`), so each down-link
+//! carries one reduced result instead of `P − 1` operand streams —
+//! the on-wire advantage `backendfigs` measures for AG+RS. What the
+//! endpoint keeps is descriptor work only, and what the fabric pays
+//! is bounded switch SRAM: live `(group, psn)` aggregation states,
+//! charged like the MGID table via
+//! [`FabricConfig::inc_table_capacity`](mcag_simnet::FabricConfig).
+
+use crate::backend::{BackendKind, BackendLimits, DatapathTransport, OffloadBackend, Placement};
+use crate::pipeline::PipelineModel;
+use mcag_dpa::{ArrivalModel, DatapathMetrics};
+use mcag_simnet::HostModel;
+
+/// Switch aggregation-engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharpSpec {
+    /// Parallel aggregation units per switch ASIC.
+    pub units: u32,
+    /// Operand bytes each unit consumes per cycle.
+    pub bytes_per_cycle: u32,
+    /// ASIC clock in GHz.
+    pub freq_ghz: f64,
+    /// Bounded aggregation-table entries per switch: live
+    /// `(group, psn)` reduction states (the scarce resource, like the
+    /// MGID table).
+    pub aggregation_entries: usize,
+    /// Endpoint per-CQE descriptor cost (ns): post contributions,
+    /// absorb the one reduced completion — no reduction arithmetic.
+    pub endpoint_rx_ns: u64,
+    /// Subnet-manager cost to program the aggregation tree (ns).
+    pub tree_program_ns: u64,
+}
+
+impl SharpSpec {
+    /// A Quantum-class switch ASIC: 32 aggregation units × 32 B/cycle
+    /// at 1.3 GHz, 512 table entries.
+    pub fn quantum_class() -> SharpSpec {
+        SharpSpec {
+            units: 32,
+            bytes_per_cycle: 32,
+            freq_ghz: 1.3,
+            aggregation_entries: 512,
+            endpoint_rx_ns: 120,
+            tree_program_ns: 250_000,
+        }
+    }
+}
+
+/// The in-switch reduction backend over a [`SharpSpec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharpBackend {
+    spec: SharpSpec,
+}
+
+impl SharpBackend {
+    /// Backend over the Quantum-class spec.
+    pub fn quantum_class() -> SharpBackend {
+        SharpBackend {
+            spec: SharpSpec::quantum_class(),
+        }
+    }
+
+    /// Backend over a custom spec.
+    pub fn with_spec(spec: SharpSpec) -> SharpBackend {
+        SharpBackend { spec }
+    }
+
+    /// Hardware spec handle.
+    pub fn spec(&self) -> &SharpSpec {
+        &self.spec
+    }
+}
+
+impl OffloadBackend for SharpBackend {
+    fn name(&self) -> &'static str {
+        "SHARP in-switch"
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::SharpSwitch
+    }
+
+    fn placement(&self) -> Placement {
+        Placement::InSwitch
+    }
+
+    fn limits(&self) -> BackendLimits {
+        BackendLimits {
+            contexts: self.spec.units,
+            aggregation_entries: Some(self.spec.aggregation_entries),
+        }
+    }
+
+    fn setup_ns(&self) -> u64 {
+        self.spec.tree_program_ns
+    }
+
+    fn datapath(
+        &self,
+        _transport: DatapathTransport,
+        threads: u32,
+        chunk_bytes: usize,
+        chunks: u64,
+        arrival: ArrivalModel,
+    ) -> DatapathMetrics {
+        // The switch aggregation pipeline: each chunk is read against
+        // the stored partial and written back — two operand passes.
+        // Transport does not matter in-switch (no staging copy).
+        PipelineModel {
+            lanes: self.spec.units,
+            bytes_per_cycle: self.spec.bytes_per_cycle,
+            freq_ghz: self.spec.freq_ghz,
+            fill_cycles: 64,
+            overhead_cycles: 32,
+        }
+        .run(2, threads, chunk_bytes, chunks, arrival)
+    }
+
+    fn host_model(&self, _chunk_bytes: usize) -> HostModel {
+        // Endpoints never touch payload arithmetic: the per-CQE cost
+        // is descriptor handling of the one reduced completion.
+        HostModel {
+            tx_post_overhead_ns: 150,
+            rx_cqe_dma_ns: 170,
+            rx_proc_ns_per_cqe: self.spec.endpoint_rx_ns,
+            rx_workers: 1,
+            rq_depth: 8192,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_cost_is_descriptor_only() {
+        let hm = SharpBackend::quantum_class().host_model(4096);
+        assert!(hm.rx_proc_ns_per_cqe < 350);
+        // Independent of chunk size: no payload pass at the endpoint.
+        assert_eq!(hm, SharpBackend::quantum_class().host_model(65_536));
+    }
+
+    #[test]
+    fn aggregation_table_is_bounded() {
+        let be = SharpBackend::quantum_class();
+        assert_eq!(be.limits().aggregation_entries, Some(512));
+    }
+
+    #[test]
+    fn switch_pipeline_sustains_line_rate_at_4k() {
+        // 32 units × 32 B/cycle × 1.3 GHz ≫ a 400 Gbit/s port.
+        let m = SharpBackend::quantum_class().datapath(
+            DatapathTransport::Uc,
+            32,
+            4096,
+            4_000,
+            ArrivalModel::Saturated,
+        );
+        assert!(m.goodput_gbps > 400.0, "{:.1} Gbit/s", m.goodput_gbps);
+    }
+}

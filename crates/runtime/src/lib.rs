@@ -57,6 +57,7 @@ pub use arrivals::{
     Workload,
 };
 pub use job::{AdmissionPolicy, JobId, JobKind, JobQueue, JobSpec, RejectReason, TenantId};
+pub use mcag_offload::BackendKind;
 pub use mcag_trace::{BatchSpan, JobSpan, Marker, RebuildSpan, RuntimeTrace, TraceSpec};
 pub use pool::{AcquireOutcome, GroupKey, McastGroupPool, PoolConfig, PoolStats};
 pub use sched::{BatchReport, ReactivePolicy, Runtime, RuntimeConfig};

@@ -150,6 +150,14 @@ impl Runtime {
         if !self.cfg.partition_faults.is_empty() {
             fabric.faults = self.cfg.partition_faults[partition as usize].clone();
         }
+        // Heterogeneous offload: a partition with a configured backend
+        // runs its batches under that backend's compiled endpoint cost
+        // model, and an in-switch backend additionally bounds the
+        // switches' live aggregation states like the MGID table.
+        if let Some((host, inc_cap)) = self.partition_hosts.get(partition as usize) {
+            fabric.host = *host;
+            fabric.inc_table_capacity = *inc_cap;
+        }
         let (sm_rebuild, sm_check_cutoffs) = match &self.cfg.reactive {
             Some(r) => (r.sm_rebuild, r.sm_check_cutoffs),
             None => (false, 0),

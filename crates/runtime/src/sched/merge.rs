@@ -190,10 +190,15 @@ impl Runtime {
 
         // Fold the batch's observed damage into the partition's health
         // score (commit order ⇒ deterministic): a timeout dominates,
-        // drops and downtime grade partial damage.
-        self.partition_health[partition as usize] += outcome.fault_drops * 1_000
+        // drops and downtime grade partial damage. Routed through the
+        // bump so fresh damage restarts the score's decay half-life
+        // (a clean batch leaves the decay clock running).
+        let damage = outcome.fault_drops * 1_000
             + outcome.downtime_ns / 1_000
             + (outcome.timed_out as u64) * 1_000_000;
+        if damage > 0 {
+            self.bump_partition_health(partition as usize, damage);
+        }
 
         let ps = &mut self.partition_stats[partition as usize];
         ps.batches += 1;

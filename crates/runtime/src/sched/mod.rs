@@ -58,7 +58,8 @@ use crate::stats::{PartitionStats, RejectCounts, RetryStats, RuntimeReport, Tena
 use form::{FormMode, FormedBatch};
 use mcag_core::{des, ProtocolConfig};
 use mcag_exec::par_map;
-use mcag_simnet::{FabricConfig, LinkSchedule, Topology};
+use mcag_offload::BackendKind;
+use mcag_simnet::{FabricConfig, HostModel, LinkSchedule, Topology};
 use mcag_trace::{Marker, RuntimeTrace, TraceSpec};
 use sim::{simulate_batch, BatchOutcome};
 use std::collections::BTreeSet;
@@ -99,6 +100,13 @@ pub struct ReactivePolicy {
     /// SM diagnosis period, in multiples of the batch's summed per-job
     /// cutoffs.
     pub sm_check_cutoffs: u64,
+    /// Half-life of the partition damage score on the virtual clock:
+    /// every `health_halflife_ns` without fresh damage halves a
+    /// partition's score (lazily, before placement decisions), so a
+    /// quarantined partition whose outage ended is eventually
+    /// un-quarantined and re-probed instead of idling forever. `None`
+    /// (the default) never decays — the PR-8 behaviour.
+    pub health_halflife_ns: Option<u64>,
 }
 
 impl Default for ReactivePolicy {
@@ -111,6 +119,7 @@ impl Default for ReactivePolicy {
             quarantine_score: 0,
             sm_rebuild: true,
             sm_check_cutoffs: 4,
+            health_halflife_ns: None,
         }
     }
 }
@@ -150,6 +159,15 @@ pub struct RuntimeConfig {
     /// Fault-reaction policy; `None` (the default) is the oblivious
     /// baseline — see [`ReactivePolicy`].
     pub reactive: Option<ReactivePolicy>,
+    /// Per-partition offload backends: when non-empty (length must
+    /// equal [`partitions`](RuntimeConfig::partitions)), every batch
+    /// placed on partition `p` runs with `partition_backends[p]`'s
+    /// compiled endpoint cost model (and, for in-switch backends, its
+    /// aggregation-table bound) instead of
+    /// [`fabric`](RuntimeConfig::fabric)`.host` — heterogeneous SM
+    /// domains, e.g. one DPA partition and one host-CPU partition.
+    /// Empty (the default) leaves the fabric's host model untouched.
+    pub partition_backends: Vec<BackendKind>,
     /// Batch recovery cutoff, in multiples of the batch's summed
     /// per-job drain cutoffs: a batch still running past the cutoff is
     /// censored (timed out), never panicked. The default is the DES
@@ -170,6 +188,7 @@ impl Default for RuntimeConfig {
             trace: None,
             partition_faults: Vec::new(),
             reactive: None,
+            partition_backends: Vec::new(),
             watchdog_cutoffs: des::WATCHDOG_CUTOFFS,
         }
     }
@@ -240,6 +259,15 @@ pub struct Runtime {
     /// `cfg.partition_faults` plus dynamic observations folded in at
     /// commit. The reactive scheduler steers batches toward the minimum.
     partition_health: Vec<u64>,
+    /// Virtual instant each partition's score was last decayed to
+    /// (lazy exponential decay under
+    /// [`ReactivePolicy::health_halflife_ns`]).
+    health_decayed_at: Vec<u64>,
+    /// Per-partition offload backends compiled at construction (empty
+    /// iff `cfg.partition_backends` is): the endpoint host model the
+    /// partition's batches run with, plus the in-switch
+    /// aggregation-table bound for SHARP-style backends.
+    partition_hosts: Vec<(HostModel, Option<usize>)>,
     /// Recovery accounting, accumulated at commit.
     retry: RetryStats,
     /// Accumulating trace document (`Some` iff `cfg.trace` is).
@@ -258,6 +286,21 @@ impl Runtime {
             cfg.partition_faults.len(),
             cfg.partitions
         );
+        assert!(
+            cfg.partition_backends.is_empty() || cfg.partition_backends.len() == cfg.partitions,
+            "partition_backends must name every partition ({} backends for {} partitions)",
+            cfg.partition_backends.len(),
+            cfg.partitions
+        );
+        // Compile each partition's backend once: calibrating a host
+        // model runs the backend's datapath engine, which must not
+        // happen per batch formation.
+        let chunk = cfg.proto.mtu.bytes();
+        let partition_hosts: Vec<(HostModel, Option<usize>)> = cfg
+            .partition_backends
+            .iter()
+            .map(|kind| (kind.host_model(chunk), kind.aggregation_entries()))
+            .collect();
         let pool = McastGroupPool::new(cfg.pool);
         let partition_stats = vec![PartitionStats::default(); cfg.partitions];
         // Static SM telemetry: the subnet manager knows its own fault
@@ -301,7 +344,9 @@ impl Runtime {
             offered: 0,
             rejects: RejectCounts::default(),
             retry_queue: Vec::new(),
+            health_decayed_at: vec![0; partition_health.len()],
             partition_health,
+            partition_hosts,
             retry: RetryStats::default(),
             trace,
         }
@@ -654,9 +699,44 @@ impl Runtime {
         }
     }
 
+    /// Lazy exponential decay of the partition damage scores under
+    /// [`ReactivePolicy::health_halflife_ns`]: each whole half-life
+    /// elapsed since a partition's score last moved halves it (integer
+    /// shift, so the score reaches exactly zero). Called before every
+    /// placement decision; fresh damage folded in at commit restarts
+    /// the clock via [`Runtime::bump_partition_health`].
+    fn decay_partition_health(&mut self) {
+        let halflife = match self
+            .cfg
+            .reactive
+            .as_ref()
+            .and_then(|r| r.health_halflife_ns)
+        {
+            Some(h) => h.max(1),
+            None => return,
+        };
+        for p in 0..self.partition_health.len() {
+            let elapsed = self.now_ns.saturating_sub(self.health_decayed_at[p]);
+            let steps = elapsed / halflife;
+            if steps == 0 {
+                continue;
+            }
+            self.partition_health[p] >>= steps.min(63);
+            self.health_decayed_at[p] += steps * halflife;
+        }
+    }
+
+    /// Fold fresh damage into a partition's score and restart its decay
+    /// half-life clock at the current virtual instant.
+    fn bump_partition_health(&mut self, partition: usize, damage: u64) {
+        self.partition_health[partition] += damage;
+        self.health_decayed_at[partition] = self.now_ns;
+    }
+
     /// Form and launch batches while a partition is free and the next
     /// fair batch fits the pool's pinning headroom.
     fn launch_ready(&mut self, jobs: usize) {
+        self.decay_partition_health();
         let mut newly: Vec<FormedBatch> = Vec::new();
         while let Some(partition) = self.free_partition(&newly) {
             match self.form_batch(FormMode::Pipelined { partition }) {
@@ -1227,6 +1307,150 @@ mod tests {
         let oblivious = run(None);
         let reactive = run(Some(ReactivePolicy::default()));
         assert_eq!(oblivious, reactive);
+    }
+
+    /// One brief outage: every link down at t = 0, restored at 1 µs.
+    /// Static SM telemetry charges the partition for it, but batches
+    /// placed there still complete (retransmits cover the blip).
+    fn blip_fabric(topo: &Topology) -> LinkSchedule {
+        use mcag_simnet::{LinkId, LinkStateEvent};
+        LinkSchedule::new(
+            (0..topo.num_links() as u32)
+                .flat_map(|l| {
+                    [
+                        LinkStateEvent::down(0, LinkId(l)),
+                        LinkStateEvent::up(1_000, LinkId(l)),
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn health_decay_unquarantines_a_recovered_partition() {
+        // Partition 0 carries a brief historical outage (score > 0),
+        // partition 1 is clean. Two tenants arrive together late enough
+        // for many half-lives to elapse. Without decay, partition 0
+        // stays quarantined forever: the second batch of every wave
+        // queues behind partition 1 instead of running concurrently.
+        // With a half-life, the stale score reaches zero and partition 0
+        // is re-probed.
+        let topo = star(4);
+        let run = |halflife: Option<u64>| {
+            let cfg = RuntimeConfig {
+                pool: PoolConfig::with_capacity(8),
+                max_inflight: 2,
+                partitions: 2,
+                partition_faults: vec![blip_fabric(&topo), LinkSchedule::empty()],
+                reactive: Some(ReactivePolicy {
+                    health_halflife_ns: halflife,
+                    ..ReactivePolicy::default()
+                }),
+                ..RuntimeConfig::default()
+            };
+            let mut rt = Runtime::new(topo.clone(), cfg);
+            assert!(
+                rt.partition_health_score(0) > 0,
+                "SM telemetry seeds damage"
+            );
+            let a = rt.register_tenant("a");
+            let b = rt.register_tenant("b");
+            for i in 0..3u64 {
+                rt.submit_at(40_000_000 + i * 4_000_000, a, JobKind::Allgather, 16 << 10);
+                rt.submit_at(40_000_000 + i * 4_000_000, b, JobKind::Allgather, 16 << 10);
+            }
+            rt.run_open_loop()
+        };
+        let frozen = run(None);
+        assert_eq!(frozen.completed_jobs(), 6);
+        assert_eq!(
+            frozen.partitions[0].batches, 0,
+            "without decay the stale score quarantines partition 0 forever"
+        );
+        let decayed = run(Some(1_000_000));
+        assert_eq!(decayed.completed_jobs(), 6);
+        assert!(
+            decayed.partitions[0].batches > 0,
+            "after ~40 half-lives the score is zero and partition 0 serves again"
+        );
+    }
+
+    #[test]
+    fn health_decay_halves_scores_on_the_virtual_clock() {
+        // Direct check of the lazy integer decay: a blip partition
+        // starts with a known score; after a run whose arrivals sit a
+        // couple of half-lives out, the pre-placement decay has shifted
+        // the score down (and a zero-score clean partition stays zero).
+        let topo = star(4);
+        let cfg = RuntimeConfig {
+            pool: PoolConfig::with_capacity(4),
+            partitions: 2,
+            partition_faults: vec![blip_fabric(&topo), LinkSchedule::empty()],
+            reactive: Some(ReactivePolicy {
+                health_halflife_ns: Some(10_000_000),
+                ..ReactivePolicy::default()
+            }),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(topo, cfg);
+        let seeded = rt.partition_health_score(0);
+        assert!(seeded > 0);
+        let t = rt.register_tenant("late");
+        // One arrival two half-lives out: placement decays both scores
+        // before steering, and the clean partition 1 takes the batch, so
+        // partition 0's score is exactly the seed shifted twice.
+        rt.submit_at(20_000_000, t, JobKind::Allgather, 16 << 10);
+        let report = rt.run_open_loop();
+        assert_eq!(report.completed_jobs(), 1);
+        assert!(report.jobs.iter().all(|j| j.partition == 1));
+        assert_eq!(rt.partition_health_score(0), seeded >> 2);
+        assert_eq!(rt.partition_health_score(1), 0);
+    }
+
+    #[test]
+    fn partition_backends_steer_the_endpoint_cost_model() {
+        // One partition, one job; only the backend differs. The BF3 DPA
+        // drains CQEs faster than the single-core host-CPU baseline, so
+        // the same collective finishes sooner — and the empty default
+        // keeps the stock UCC host model (distinct from both).
+        let run = |backends: Vec<BackendKind>| {
+            let cfg = RuntimeConfig {
+                pool: PoolConfig::with_capacity(4),
+                partition_backends: backends,
+                ..RuntimeConfig::default()
+            };
+            let mut rt = Runtime::new(star(4), cfg);
+            let t = rt.register_tenant("x");
+            rt.submit(t, JobKind::AgRs, 64 << 10).unwrap();
+            rt.run_to_completion()
+        };
+        let base = run(Vec::new());
+        let dpa = run(vec![BackendKind::DpaBf3]);
+        let cpu = run(vec![BackendKind::HostCpu]);
+        let sharp = run(vec![BackendKind::SharpSwitch]);
+        for r in [&base, &dpa, &cpu, &sharp] {
+            assert_eq!(r.completed_jobs(), 1);
+        }
+        assert!(
+            dpa.makespan_ns < cpu.makespan_ns,
+            "DPA endpoint model ({} ns) must beat the host-CPU baseline ({} ns)",
+            dpa.makespan_ns,
+            cpu.makespan_ns
+        );
+        // The in-switch backend's endpoints only post descriptors and
+        // the aggregation-table bound holds on this small fabric.
+        assert!(sharp.makespan_ns <= cpu.makespan_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition_backends must name every partition")]
+    fn mismatched_partition_backends_panic() {
+        let cfg = RuntimeConfig {
+            partitions: 2,
+            partition_backends: vec![BackendKind::DpaBf3],
+            ..RuntimeConfig::default()
+        };
+        Runtime::new(star(4), cfg);
     }
 
     #[test]

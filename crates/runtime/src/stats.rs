@@ -273,13 +273,10 @@ impl RuntimeReport {
         self.pool.hit_rate()
     }
 
-    /// Sustained delivered goodput over the whole run, Tbit/s.
+    /// Sustained delivered goodput over the whole run, Tbit/s
+    /// (the algorithmic bandwidth of the whole job mix).
     pub fn sustained_tbps(&self) -> f64 {
-        if self.makespan_ns == 0 {
-            return 0.0;
-        }
-        // bytes * 8 / ns == bits/ns == Gbit/s... careful: 1 byte/ns = 8 Gbit/s.
-        self.delivered_bytes as f64 * 8.0 / self.makespan_ns as f64 / 1e3
+        mcag_models::algbw_gbps(self.delivered_bytes, self.makespan_ns) / 1e3
     }
 
     /// Mean end-to-end latency across completed jobs (ns).

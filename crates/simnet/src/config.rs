@@ -109,6 +109,14 @@ pub struct FabricConfig {
     /// programs (the scarce resource `mcag-runtime`'s pool arbitrates).
     /// `None` leaves the table unbounded.
     pub mcast_table_capacity: Option<usize>,
+    /// Per-switch in-network-reduction aggregation-table capacity:
+    /// live `(group, psn)` reduction states one switch may hold at
+    /// once. Exceeding it panics, modeling the bounded SHARP
+    /// aggregation SRAM the same way `mcast_table_capacity` models
+    /// the MGID table (`mcag-offload`'s in-switch backend sets this).
+    /// `None` (the default everywhere) leaves the table unbounded and
+    /// skips the accounting branch.
+    pub inc_table_capacity: Option<usize>,
     /// Event-queue engine: the timer wheel (default) or the reference
     /// binary heap. Both produce identical results; the heap exists as a
     /// determinism oracle and perf baseline (`BENCH_simcore.json`).
@@ -136,6 +144,7 @@ impl FabricConfig {
             seed: 0x5eed,
             max_events: 2_000_000_000,
             mcast_table_capacity: None,
+            inc_table_capacity: None,
             event_queue: QueueBackend::default(),
             faults: LinkSchedule::empty(),
             trace: None,

@@ -204,6 +204,13 @@ pub struct Inner<M> {
     /// In-network reduction progress: contributions seen per
     /// `(group, psn, switch)`.
     inc_arrivals: HashMap<(u32, u32, NodeId), u32>,
+    /// Live aggregation-table entries per switch (`(group, psn)`
+    /// states currently held), maintained only while INC traffic
+    /// flows; bounded by [`FabricConfig::inc_table_capacity`].
+    inc_live: HashMap<NodeId, usize>,
+    /// High-water mark of any single switch's live aggregation-table
+    /// occupancy over the run (reported even when unbounded).
+    inc_table_peak: usize,
     /// Reusable egress-link buffer for switch forwarding (avoids a fresh
     /// `Vec` per packet hop on the multicast replication hot path).
     scratch_links: Vec<LinkId>,
@@ -323,6 +330,8 @@ impl<M: Clone + 'static> Fabric<M> {
                 done: vec![None; n],
                 done_count: 0,
                 inc_arrivals: HashMap::new(),
+                inc_live: HashMap::new(),
+                inc_table_peak: 0,
                 scratch_links: Vec::new(),
                 pkt_slab: Vec::new(),
                 free_pkts: Vec::new(),
@@ -383,6 +392,14 @@ impl<M: Clone + 'static> Fabric<M> {
     /// simulated switch group-table occupancy.
     pub fn num_groups(&self) -> usize {
         self.inner.trees.len()
+    }
+
+    /// High-water mark of any single switch's live in-network-reduction
+    /// aggregation-table occupancy over the run so far (0 when no INC
+    /// traffic flowed). The demand side of
+    /// [`FabricConfig::inc_table_capacity`].
+    pub fn inc_table_peak(&self) -> usize {
+        self.inner.inc_table_peak
     }
 
     /// Attach `rank`'s `qp` to `group` (receives that group's datagrams).
@@ -1247,14 +1264,34 @@ impl<M: Clone + 'static> Inner<M> {
         }
         debug_assert!(expected > 0, "reduction node with no contributors");
         let key = (group.0, psn, node);
-        let cnt = self.inc_arrivals.entry(key).or_insert(0);
-        *cnt += 1;
-        if *cnt < expected {
+        let cnt = {
+            let c = self.inc_arrivals.entry(key).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if cnt == 1 {
+            // A fresh `(group, psn)` state claims one aggregation-table
+            // entry at this switch — the bounded SHARP SRAM, charged
+            // like the MGID table on group creation.
+            let live = self.inc_live.entry(node).or_insert(0);
+            *live += 1;
+            if let Some(cap) = self.cfg.inc_table_capacity {
+                assert!(
+                    *live <= cap,
+                    "switch aggregation table exhausted ({cap} live reduction states at {node:?})"
+                );
+            }
+            self.inc_table_peak = self.inc_table_peak.max(*live);
+        }
+        if cnt < expected {
             // Absorbed into the partial reduction.
             self.release_pkt(pr);
             return;
         }
         self.inc_arrivals.remove(&key);
+        if let Some(live) = self.inc_live.get_mut(&node) {
+            *live -= 1;
+        }
         let tree = &self.trees[group.0 as usize];
         match tree.parent_link(node) {
             Some(up) => {

@@ -20,6 +20,9 @@
 //! * [`trace`] — the deterministic flight recorder: bounded ring-buffer
 //!   trace sink, runtime spans, link-utilization timelines, and
 //!   Chrome/Perfetto trace export.
+//! * [`offload`] — pluggable in-network compute backends (BlueField-3
+//!   DPA, host CPU, FPGA SmartNIC, SHARP-style in-switch reduction)
+//!   behind one cost-model trait.
 //! * [`memfabric`] — the threaded real-byte fabric for end-to-end
 //!   validation.
 //! * [`baselines`] — point-to-point collective schedules.
@@ -53,6 +56,7 @@ pub use mcag_exec as exec;
 pub use mcag_faults as faults;
 pub use mcag_memfabric as memfabric;
 pub use mcag_models as models;
+pub use mcag_offload as offload;
 pub use mcag_runtime as runtime;
 pub use mcag_simnet as simnet;
 pub use mcag_trace as trace;

@@ -105,6 +105,26 @@ fn trace_reachable_and_records() {
 }
 
 #[test]
+fn offload_reachable_and_compiles_to_host_models() {
+    use mcast_allgather::offload::{BackendKind, Placement};
+    for kind in BackendKind::ALL {
+        let be = kind.instantiate();
+        assert_eq!(be.kind(), kind);
+        let hm = be.host_model(4096);
+        assert!(hm.rq_depth > 0);
+        // Only in-switch backends hold fabric-resident reduction state.
+        assert_eq!(
+            be.limits().aggregation_entries.is_some(),
+            be.placement() == Placement::InSwitch
+        );
+    }
+    assert!(
+        mcast_allgather::models::algbw_gbps(125_000_000, 1_000_000) > 999.0,
+        "models::algbw_gbps must be reachable through the facade"
+    );
+}
+
+#[test]
 fn runtime_reachable_and_constructs() {
     let topo = mcast_allgather::simnet::Topology::single_switch(4, LinkRate::CX3_56G, 100);
     let mut rt = mcast_allgather::runtime::Runtime::new(
